@@ -1,0 +1,348 @@
+// Benchmark twins of the EXPERIMENTS.md tables: one benchmark per
+// experiment (E1..E10), each reporting the custom metric the corresponding
+// theorem or lemma bounds (wall time for the sequential claims, simulated
+// EREW depth/work for the parallel ones). `go test -bench=. -benchmem`
+// regenerates the full set; cmd/msfbench prints the richer tables.
+package parmsf
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"parmsf/internal/baseline"
+	"parmsf/internal/core"
+	"parmsf/internal/pram"
+	"parmsf/internal/sparsify"
+	"parmsf/internal/ternary"
+	"parmsf/internal/workload"
+	"parmsf/internal/xrand"
+)
+
+// steadyOps produces an endless deg-3-respecting churn closure over a
+// loaded engine.
+func steadyOps(m *core.MSF, n int, seed uint64) func() {
+	rng := xrand.New(seed)
+	type pair struct{ u, v int }
+	var live []pair
+	base := workload.DegreeBounded(n, n*5/4, 3, seed)
+	for _, e := range base {
+		if err := m.InsertEdge(e.U, e.V, e.W); err != nil {
+			panic(err)
+		}
+		live = append(live, pair{e.U, e.V})
+	}
+	nextW := int64(1 << 30)
+	return func() {
+		if rng.Bool() && len(live) > 0 {
+			i := rng.Intn(len(live))
+			p := live[i]
+			if err := m.DeleteEdge(p.u, p.v); err != nil {
+				panic(err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			return
+		}
+		for tries := 0; tries < 30; tries++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if err := m.InsertEdge(u, v, nextW); err == nil {
+				nextW++
+				live = append(live, pair{u, v})
+				return
+			}
+		}
+	}
+}
+
+// BenchmarkE1SeqUpdate — Theorem 1.2: sequential update on sparse deg-3
+// graphs; ns/op should grow ~ sqrt(n log n).
+func BenchmarkE1SeqUpdate(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 12, 1 << 14, 1 << 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := core.NewMSF(n, core.Config{}, core.SeqCharger{})
+			step := steadyOps(m, n, uint64(n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/
+				math.Sqrt(float64(n)*math.Log2(float64(n))), "ns/sqrt(nlogn)")
+		})
+	}
+}
+
+// BenchmarkE2ParallelDepth — Theorem 3.1: simulated EREW depth per update;
+// depth/op should grow ~ log n.
+func BenchmarkE2ParallelDepth(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 12, 1 << 14} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			mach := pram.New(false)
+			m := core.NewMSF(n, core.Config{}, core.PRAMCharger{M: mach})
+			step := steadyOps(m, n, uint64(n)+1)
+			mach.Reset()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+			depth := float64(mach.Time) / float64(b.N)
+			b.ReportMetric(depth, "depth/op")
+			b.ReportMetric(depth/math.Log2(float64(n)), "depth/log2n")
+			b.ReportMetric(float64(mach.MaxActive)/math.Sqrt(float64(n)), "procs/sqrtn")
+		})
+	}
+}
+
+// BenchmarkE3Work — Theorem 1.1: simulated work per update; work/op should
+// grow ~ sqrt(n) log n (prior work: n^(2/3)).
+func BenchmarkE3Work(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 12, 1 << 14} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			mach := pram.New(false)
+			m := core.NewMSF(n, core.Config{}, core.PRAMCharger{M: mach})
+			step := steadyOps(m, n, uint64(n)+2)
+			mach.Reset()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+			work := float64(mach.Work) / float64(b.N)
+			b.ReportMetric(work, "work/op")
+			b.ReportMetric(work/(math.Sqrt(float64(n))*math.Log2(float64(n))), "work/bound")
+		})
+	}
+}
+
+// BenchmarkE4Sparsify — Section 5: update cost with m/n = 2 vs 16, with and
+// without the sparsification tree; the sparsified ratio should stay near 1.
+func BenchmarkE4Sparsify(b *testing.B) {
+	const n = 512
+	for _, density := range []int{2, 16} {
+		m := n * density
+		base := workload.RandomSparse(n, m, uint64(density))
+		b.Run(fmt.Sprintf("sparsify/m=%dn", density), func(b *testing.B) {
+			f := sparsify.New(n, func(localN, maxEdges int) sparsify.Engine {
+				return ternary.New(localN, maxEdges, func(gn int) ternary.Engine {
+					return core.NewMSF(gn, core.Config{}, core.SeqCharger{})
+				})
+			})
+			benchChurnEngine(b, f, n, base)
+		})
+		b.Run(fmt.Sprintf("flat/m=%dn", density), func(b *testing.B) {
+			f := ternary.New(n, 2*m+4*n, func(gn int) ternary.Engine {
+				return core.NewMSF(gn, core.Config{}, core.SeqCharger{})
+			})
+			benchChurnEngine(b, f, n, base)
+		})
+	}
+}
+
+type churnable interface {
+	InsertEdge(u, v int, w int64) error
+	DeleteEdge(u, v int) error
+}
+
+func benchChurnEngine(b *testing.B, f churnable, n int, base []workload.Edge) {
+	type pair struct{ u, v int }
+	var live []pair
+	seen := map[pair]bool{}
+	for _, e := range base {
+		if err := f.InsertEdge(e.U, e.V, e.W); err != nil {
+			b.Fatal(err)
+		}
+		p := pair{e.U, e.V}
+		live = append(live, p)
+		seen[p] = true
+	}
+	rng := xrand.New(uint64(n))
+	nextW := int64(1 << 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rng.Bool() && len(live) > 0 {
+			j := rng.Intn(len(live))
+			p := live[j]
+			if err := f.DeleteEdge(p.u, p.v); err != nil {
+				b.Fatal(err)
+			}
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			delete(seen, p)
+			continue
+		}
+		for tries := 0; tries < 30; tries++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[pair{u, v}] {
+				continue
+			}
+			if err := f.InsertEdge(u, v, nextW); err != nil {
+				b.Fatal(err)
+			}
+			nextW++
+			live = append(live, pair{u, v})
+			seen[pair{u, v}] = true
+			break
+		}
+	}
+}
+
+// BenchmarkE5ChunkParam — Lemma 2.2 ablation: K at, below and above the
+// optimum sqrt(n log n).
+func BenchmarkE5ChunkParam(b *testing.B) {
+	const n = 1 << 13
+	kOpt := int(math.Sqrt(float64(n) * math.Log2(float64(n))))
+	for _, f := range []struct {
+		name   string
+		factor float64
+	}{{"quarter", 0.25}, {"optimal", 1}, {"quadruple", 4}} {
+		k := int(float64(kOpt) * f.factor)
+		b.Run(fmt.Sprintf("K=%s", f.name), func(b *testing.B) {
+			m := core.NewMSF(n, core.Config{K: k}, core.SeqCharger{})
+			step := steadyOps(m, n, 99)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+		})
+	}
+}
+
+// BenchmarkE6LSDS — Lemmas 2.3/3.2: non-tree edge churn isolates the
+// CAdj/LSDS cost (no surgery).
+func BenchmarkE6LSDS(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 14} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := core.NewMSF(n, core.Config{}, core.SeqCharger{})
+			for i := 0; i+1 < n; i++ {
+				if err := m.InsertEdge(i, i+1, int64(i+1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rng := xrand.New(uint64(n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u := rng.Intn(n - 2)
+				if err := m.InsertEdge(u, u+2, int64(10*n+i)); err != nil {
+					b.Fatal(err)
+				}
+				if err := m.DeleteEdge(u, u+2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7MWR — Lemmas 2.4/3.3: forced tree-edge deletions
+// (delete+reinsert of forest edges).
+func BenchmarkE7MWR(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 14} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := core.NewMSF(n, core.Config{}, core.SeqCharger{})
+			base := workload.DegreeBounded(n, n*5/4, 3, uint64(n))
+			for _, e := range base {
+				if err := m.InsertEdge(e.U, e.V, e.W); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var te [][3]int64
+			m.ForestEdges(func(u, v int, w int64) bool {
+				te = append(te, [3]int64{int64(u), int64(v), w})
+				return true
+			})
+			rng := xrand.New(uint64(n) + 5)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := te[rng.Intn(len(te))]
+				if err := m.DeleteEdge(int(p[0]), int(p[1])); err != nil {
+					b.Fatal(err)
+				}
+				if err := m.InsertEdge(int(p[0]), int(p[1]), p[2]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8Baselines — Section 1 comparison on identical general-graph
+// churn: this paper's pipeline vs LCT-scan vs Kruskal recompute.
+func BenchmarkE8Baselines(b *testing.B) {
+	const n = 1 << 12
+	base := workload.RandomSparse(n, 2*n, 123)
+	b.Run("core", func(b *testing.B) {
+		f := ternary.New(n, 8*n, func(gn int) ternary.Engine {
+			return core.NewMSF(gn, core.Config{}, core.SeqCharger{})
+		})
+		benchChurnEngine(b, f, n, base)
+	})
+	b.Run("lct-scan", func(b *testing.B) {
+		benchChurnEngine(b, baseline.NewLCTScan(n), n, base)
+	})
+	b.Run("kruskal", func(b *testing.B) {
+		benchChurnEngine(b, baseline.NewKruskal(n), n, base)
+	})
+}
+
+// BenchmarkE9GetEdge — Figure 2 structure: BTc-driven operations; reports
+// realized tree heights against log K.
+func BenchmarkE9GetEdge(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 14} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := core.NewMSF(n, core.Config{}, core.SeqCharger{})
+			step := steadyOps(m, n, uint64(n)+9)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+			b.StopTimer()
+			meanH, maxH := m.Store().BTHeightStats()
+			k, _ := m.Store().Params()
+			b.ReportMetric(meanH, "btc-height")
+			b.ReportMetric(float64(maxH)/math.Log2(float64(k)+2), "height/log2K")
+		})
+	}
+}
+
+// BenchmarkE10ShortLists — Section 6: churn confined to 8-vertex
+// components; every list stays short.
+func BenchmarkE10ShortLists(b *testing.B) {
+	const n = 1 << 14
+	m := core.NewMSF(n, core.Config{}, core.SeqCharger{})
+	rng := xrand.New(10)
+	comp := n / 8
+	type pair struct{ u, v int }
+	var live []pair
+	w := int64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := rng.Intn(comp)
+		baseV := c * 8
+		if rng.Bool() || len(live) == 0 {
+			u, v := baseV+rng.Intn(8), baseV+rng.Intn(8)
+			if u == v {
+				continue
+			}
+			if err := m.InsertEdge(u, v, w); err == nil {
+				live = append(live, pair{u, v})
+			}
+			w++
+		} else {
+			j := rng.Intn(len(live))
+			p := live[j]
+			if err := m.DeleteEdge(p.u, p.v); err != nil {
+				b.Fatal(err)
+			}
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+}

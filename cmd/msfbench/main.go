@@ -1,0 +1,53 @@
+// Command msfbench regenerates the experiment tables of EXPERIMENTS.md:
+// one table per theorem/lemma/comparison of the paper (see DESIGN.md for
+// the experiment index).
+//
+// Usage:
+//
+//	msfbench                 # run every experiment at quick scale
+//	msfbench -exp E1,E4      # selected experiments
+//	msfbench -full           # paper-scale sizes (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"parmsf/internal/experiments"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E11) or 'all'")
+	full := flag.Bool("full", false, "paper-scale sizes")
+	flag.Parse()
+
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+
+	var ids []string
+	if *expFlag == "all" {
+		ids = experiments.Order
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(strings.ToUpper(id))
+			if _, ok := experiments.Registry[id]; !ok {
+				fmt.Fprintf(os.Stderr, "msfbench: unknown experiment %q (known: %s)\n",
+					id, strings.Join(experiments.Order, ", "))
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	fmt.Printf("# parmsf experiment tables (%s scale)\n\n", map[bool]string{false: "quick", true: "full"}[*full])
+	for _, id := range ids {
+		start := time.Now()
+		experiments.Registry[id](os.Stdout, scale)
+		fmt.Printf("[%s finished in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,125 @@
+// Command msfcheck is a randomized cross-validation stress tool: it drives
+// every pipeline configuration (sequential core, EREW PRAM core with
+// exclusivity checking, degree reduction, sparsification) and the naive
+// Kruskal baseline through the same random update stream, verifying after
+// every operation that forests agree and the core structure's invariants
+// hold. Exit status 0 means no disagreement was found.
+//
+// Usage:
+//
+//	msfcheck -n 64 -steps 5000 -seed 1
+//	msfcheck -quick             # small smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"parmsf"
+	"parmsf/internal/baseline"
+	"parmsf/internal/core"
+	"parmsf/internal/xrand"
+)
+
+func main() {
+	n := flag.Int("n", 48, "vertex count")
+	steps := flag.Int("steps", 3000, "operations to run")
+	seed := flag.Uint64("seed", 1, "random seed")
+	quick := flag.Bool("quick", false, "small smoke run (n=16, steps=500)")
+	deep := flag.Int("deep", 97, "run the full O(n^2) core invariant check every `deep` ops on the raw core engine")
+	flag.Parse()
+	if *quick {
+		*n, *steps = 16, 500
+	}
+
+	start := time.Now()
+	rng := xrand.New(*seed)
+
+	forests := map[string]*parmsf.Forest{
+		"seq":      parmsf.New(*n, parmsf.Options{MaxEdges: 16 * *n}),
+		"pram":     parmsf.New(*n, parmsf.Options{MaxEdges: 16 * *n, CheckEREW: true}),
+		"sparsify": parmsf.New(*n, parmsf.Options{Sparsify: true}),
+	}
+	ref := baseline.NewKruskal(*n)
+	// A raw core engine on a degree-3 stream mirror for deep invariant
+	// checking.
+	rawCore := core.NewMSF(*n, core.Config{}, core.SeqCharger{})
+
+	type pair struct{ u, v int }
+	var live []pair
+	rawLive := map[pair]bool{}
+	nextW := int64(1)
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "msfcheck: FAIL: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	for step := 0; step < *steps; step++ {
+		if rng.Intn(5) < 3 || len(live) == 0 {
+			u, v := rng.Intn(*n), rng.Intn(*n)
+			if u == v {
+				continue
+			}
+			refErr := ref.InsertEdge(u, v, nextW)
+			for name, f := range forests {
+				if err := f.Insert(u, v, nextW); (err == nil) != (refErr == nil) {
+					fail("step %d: %s insert (%d,%d): %v vs ref %v", step, name, u, v, err, refErr)
+				}
+			}
+			if refErr == nil {
+				live = append(live, pair{u, v})
+			}
+			// Mirror on the raw degree-3 engine when degrees allow.
+			if err := rawCore.InsertEdge(u, v, nextW); err == nil {
+				rawLive[pair{u, v}] = true
+			}
+			nextW++
+		} else {
+			i := rng.Intn(len(live))
+			p := live[i]
+			ref.DeleteEdge(p.u, p.v)
+			for name, f := range forests {
+				if err := f.Delete(p.u, p.v); err != nil {
+					fail("step %d: %s delete (%d,%d): %v", step, name, p.u, p.v, err)
+				}
+			}
+			if rawLive[p] {
+				if err := rawCore.DeleteEdge(p.u, p.v); err != nil {
+					fail("step %d: raw core delete: %v", step, err)
+				}
+				delete(rawLive, p)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		for name, f := range forests {
+			if f.Weight() != ref.Weight() || f.Size() != ref.ForestSize() {
+				fail("step %d: %s forest (w=%d,s=%d) vs ref (w=%d,s=%d)",
+					step, name, f.Weight(), f.Size(), ref.Weight(), ref.ForestSize())
+			}
+		}
+		if step%11 == 0 {
+			u, v := rng.Intn(*n), rng.Intn(*n)
+			want := ref.Connected(u, v)
+			for name, f := range forests {
+				if got := f.Connected(u, v); got != want {
+					fail("step %d: %s Connected(%d,%d)=%v want %v", step, name, u, v, got, want)
+				}
+			}
+		}
+		if *deep > 0 && step%*deep == 0 {
+			if err := rawCore.Store().CheckInvariants(); err != nil {
+				fail("step %d: core invariants: %v", step, err)
+			}
+		}
+	}
+	if v := forests["pram"].PRAM().Violations(); len(v) != 0 {
+		fail("EREW violations: %v", v)
+	}
+	m := forests["pram"].PRAM()
+	fmt.Printf("msfcheck: OK — %d ops on n=%d in %v (final m=%d, forest=%d, PRAM depth=%d work=%d)\n",
+		*steps, *n, time.Since(start).Round(time.Millisecond),
+		len(live), ref.ForestSize(), m.Time, m.Work)
+}

@@ -1,0 +1,109 @@
+// Dynamic single-linkage clustering: the classic MSF application. Points
+// arrive and depart; similarity edges are maintained in a dynamic MSF, and
+// the clustering at any distance threshold tau is read off as the
+// components of the forest edges with weight <= tau. Deleting a point's
+// edges reclusters automatically through replacement edges.
+package main
+
+import (
+	"fmt"
+
+	"parmsf"
+	"parmsf/internal/xrand"
+)
+
+// point lives on a 2D integer grid; similarity = squared distance.
+type point struct{ x, y int }
+
+func dist2(a, b point) parmsf.Weight {
+	dx, dy := int64(a.x-b.x), int64(a.y-b.y)
+	return dx*dx + dy*dy
+}
+
+func main() {
+	const maxPoints = 128
+	rng := xrand.New(7)
+	f := parmsf.New(maxPoints, parmsf.Options{MaxEdges: maxPoints * maxPoints / 2})
+	pts := make(map[int]point)
+
+	addPoint := func(id int, p point) {
+		// Connect the newcomer to every live point; the MSF keeps only
+		// what single-linkage needs.
+		for other, q := range pts {
+			if err := f.Insert(id, other, dist2(p, q)+1); err != nil {
+				panic(err)
+			}
+		}
+		pts[id] = p
+	}
+	removePoint := func(id int) {
+		p := pts[id]
+		_ = p
+		delete(pts, id)
+		for other := range pts {
+			if err := f.Delete(id, other); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	// clustersAt counts clusters at threshold tau via the forest edges.
+	clustersAt := func(tau parmsf.Weight) int {
+		parent := map[int]int{}
+		var find func(int) int
+		find = func(x int) int {
+			if parent[x] == x {
+				return x
+			}
+			parent[x] = find(parent[x])
+			return parent[x]
+		}
+		for id := range pts {
+			parent[id] = id
+		}
+		f.Edges(func(u, v int, w parmsf.Weight) bool {
+			if w <= tau {
+				if _, ok := pts[u]; !ok {
+					return true
+				}
+				if _, ok := pts[v]; !ok {
+					return true
+				}
+				parent[find(u)] = find(v)
+			}
+			return true
+		})
+		seen := map[int]bool{}
+		for id := range pts {
+			seen[find(id)] = true
+		}
+		return len(seen)
+	}
+
+	// Three well-separated blobs of arriving points.
+	centers := []point{{0, 0}, {100, 0}, {50, 90}}
+	next := 0
+	for round := 0; round < 3; round++ {
+		for b, c := range centers {
+			for i := 0; i < 8; i++ {
+				p := point{c.x + rng.Intn(11) - 5, c.y + rng.Intn(11) - 5}
+				addPoint(next, p)
+				next++
+				_ = b
+			}
+		}
+		fmt.Printf("round %d: %3d points | clusters at tau=400: %d | tau=10000: %d\n",
+			round, len(pts), clustersAt(400), clustersAt(10000))
+	}
+
+	// Remove one blob's points; clusters must update through replacements.
+	removed := 0
+	for id, p := range pts {
+		if p.x < 50 && p.y < 50 && removed < 24 {
+			removePoint(id)
+			removed++
+		}
+	}
+	fmt.Printf("after removing blob A (%d points): %d points | clusters at tau=400: %d\n",
+		removed, len(pts), clustersAt(400))
+}

@@ -1,0 +1,81 @@
+// Network maintenance scenario: a WAN operator maintains the cheapest
+// spanning backbone of a fluctuating link set. Links fail and recover;
+// every change must immediately yield the new optimal backbone and report
+// whether connectivity was lost — the motivating workload for worst-case
+// (not amortized) dynamic MSF, since no single reconfiguration may stall.
+package main
+
+import (
+	"fmt"
+
+	"parmsf"
+	"parmsf/internal/workload"
+	"parmsf/internal/xrand"
+)
+
+func main() {
+	const sites = 200
+	rng := xrand.New(2018)
+
+	// Initial topology: a sparse random mesh with ring-like redundancy.
+	links := workload.RandomSparse(sites, 3*sites, 42)
+	f := parmsf.New(sites, parmsf.Options{MaxEdges: 8 * sites})
+	up := map[[2]int]parmsf.Weight{}
+	for _, l := range links {
+		if err := f.Insert(l.U, l.V, l.W); err != nil {
+			panic(err)
+		}
+		up[[2]int{l.U, l.V}] = l.W
+	}
+	fmt.Printf("initial: %d sites, %d links, backbone cost %d, %d backbone links\n",
+		sites, len(up), f.Weight(), f.Size())
+
+	// Simulate a day of failures and repairs.
+	partitions, reconfigs := 0, 0
+	var downList [][2]int
+	lastCost := f.Weight()
+	for hour := 0; hour < 24; hour++ {
+		// A burst of failures...
+		for i := 0; i < 12; i++ {
+			var victim [2]int
+			k := rng.Intn(len(up))
+			for key := range up {
+				if k == 0 {
+					victim = key
+					break
+				}
+				k--
+			}
+			w := up[victim]
+			delete(up, victim)
+			downList = append(downList, victim)
+			if err := f.Delete(victim[0], victim[1]); err != nil {
+				panic(err)
+			}
+			_ = w
+			if !f.Connected(victim[0], victim[1]) {
+				partitions++
+			}
+		}
+		// ...and some repairs.
+		for i := 0; i < 10 && len(downList) > 0; i++ {
+			j := rng.Intn(len(downList))
+			l := downList[j]
+			downList[j] = downList[len(downList)-1]
+			downList = downList[:len(downList)-1]
+			w := parmsf.Weight(rng.Intn(5000) + 1) // renegotiated link cost
+			if err := f.Insert(l[0], l[1], w); err != nil {
+				panic(err)
+			}
+			up[l] = w
+		}
+		if f.Weight() != lastCost {
+			reconfigs++
+			lastCost = f.Weight()
+		}
+		fmt.Printf("hour %2d: links=%3d backbone cost=%7d components=%d\n",
+			hour, len(up), f.Weight(), sites-f.Size())
+	}
+	fmt.Printf("\nsummary: %d hours with cost reconfigurations, %d transient partitions observed\n",
+		reconfigs, partitions)
+}

@@ -1,0 +1,52 @@
+// Quickstart: maintain a minimum spanning forest under edge insertions and
+// deletions with the parmsf public API.
+package main
+
+import (
+	"fmt"
+
+	"parmsf"
+)
+
+func main() {
+	// A forest over 6 vertices; the default pipeline is the paper's
+	// sequential Theorem 1.2 structure behind degree reduction.
+	f := parmsf.New(6, parmsf.Options{})
+
+	// Build a weighted graph incrementally. The forest is maintained after
+	// every call.
+	type e struct {
+		u, v int
+		w    parmsf.Weight
+	}
+	edges := []e{
+		{0, 1, 7}, {0, 2, 4}, {1, 2, 3}, {1, 3, 6},
+		{2, 3, 5}, {3, 4, 2}, {4, 5, 8}, {2, 5, 9},
+	}
+	for _, x := range edges {
+		if err := f.Insert(x.u, x.v, x.w); err != nil {
+			panic(err)
+		}
+	}
+
+	fmt.Printf("MSF weight after inserts: %d (edges: %d)\n", f.Weight(), f.Size())
+	fmt.Println("forest edges:")
+	f.Edges(func(u, v int, w parmsf.Weight) bool {
+		fmt.Printf("  (%d,%d) w=%d\n", u, v, w)
+		return true
+	})
+
+	// Deleting a forest edge triggers a replacement search.
+	if err := f.Delete(3, 4); err != nil {
+		panic(err)
+	}
+	fmt.Printf("after deleting (3,4): weight=%d, 4 and 0 connected: %v\n",
+		f.Weight(), f.Connected(4, 0))
+
+	// Inserting a lighter edge across an existing cycle swaps out the
+	// heaviest cycle edge automatically.
+	if err := f.Insert(0, 3, 1); err != nil {
+		panic(err)
+	}
+	fmt.Printf("after inserting (0,3,w=1): weight=%d\n", f.Weight())
+}

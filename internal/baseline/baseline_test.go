@@ -1,0 +1,191 @@
+package baseline
+
+import (
+	"testing"
+
+	"parmsf/internal/xrand"
+)
+
+// engine is the shared behavioural interface under test.
+type engine interface {
+	InsertEdge(u, v int, w int64) error
+	DeleteEdge(u, v int) error
+	Connected(u, v int) bool
+	Weight() int64
+	ForestSize() int
+	ForestEdges(f func(u, v int, w int64) bool)
+}
+
+func drive(t *testing.T, a, b engine, n, steps int, seed uint64) {
+	t.Helper()
+	rng := xrand.New(seed)
+	type pair struct{ u, v int }
+	var live []pair
+	nextW := int64(1)
+	for step := 0; step < steps; step++ {
+		if rng.Intn(5) < 3 || len(live) == 0 {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			e1 := a.InsertEdge(u, v, nextW)
+			e2 := b.InsertEdge(u, v, nextW)
+			if (e1 == nil) != (e2 == nil) {
+				t.Fatalf("step %d: insert disagreement: %v vs %v", step, e1, e2)
+			}
+			if e1 == nil {
+				live = append(live, pair{u, v})
+			}
+			nextW += int64(1 + rng.Intn(5))
+		} else {
+			i := rng.Intn(len(live))
+			p := live[i]
+			if err := a.DeleteEdge(p.u, p.v); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if err := b.DeleteEdge(p.u, p.v); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if a.Weight() != b.Weight() || a.ForestSize() != b.ForestSize() {
+			t.Fatalf("step %d: (w=%d,n=%d) vs (w=%d,n=%d)",
+				step, a.Weight(), a.ForestSize(), b.Weight(), b.ForestSize())
+		}
+		if step%17 == 0 {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if a.Connected(u, v) != b.Connected(u, v) {
+				t.Fatalf("step %d: Connected(%d,%d) disagreement", step, u, v)
+			}
+		}
+	}
+}
+
+func TestLCTScanAgainstKruskal(t *testing.T) {
+	const n = 40
+	drive(t, NewKruskal(n), NewLCTScan(n), n, 2500, 11)
+}
+
+func TestKruskalBasics(t *testing.T) {
+	k := NewKruskal(4)
+	if err := k.InsertEdge(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.InsertEdge(0, 1, 5); err != ErrExists {
+		t.Fatalf("dup insert: %v", err)
+	}
+	if err := k.DeleteEdge(2, 3); err != ErrMissing {
+		t.Fatalf("missing delete: %v", err)
+	}
+	if k.Weight() != 3 || k.ForestSize() != 1 || !k.Connected(0, 1) {
+		t.Fatal("state wrong after insert")
+	}
+}
+
+func TestKruskalEvents(t *testing.T) {
+	k := NewKruskal(3)
+	var log []string
+	k.SetEvents(func(u, v int, w int64, added bool) {
+		s := "del"
+		if added {
+			s = "add"
+		}
+		log = append(log, s)
+	})
+	k.InsertEdge(0, 1, 1) // add
+	k.InsertEdge(1, 2, 2) // add
+	k.InsertEdge(0, 2, 9) // no change
+	before := len(log)
+	k.DeleteEdge(0, 1) // del + add replacement
+	if len(log) != before+2 {
+		t.Fatalf("events after replacement delete: %v", log)
+	}
+	if before != 2 {
+		t.Fatalf("events after inserts: %v", log)
+	}
+}
+
+func TestLCTScanReplacement(t *testing.T) {
+	s := NewLCTScan(4)
+	s.InsertEdge(0, 1, 1)
+	s.InsertEdge(1, 2, 2)
+	s.InsertEdge(2, 3, 3)
+	s.InsertEdge(0, 3, 50)
+	if s.Weight() != 6 {
+		t.Fatalf("weight = %d, want 6", s.Weight())
+	}
+	s.DeleteEdge(1, 2)
+	if s.Weight() != 54 || !s.Connected(0, 3) {
+		t.Fatalf("after delete: w=%d", s.Weight())
+	}
+}
+
+func TestForestEdgesSorted(t *testing.T) {
+	k := NewKruskal(5)
+	k.InsertEdge(3, 4, 1)
+	k.InsertEdge(0, 1, 2)
+	k.InsertEdge(1, 2, 3)
+	var got [][2]int
+	k.ForestEdges(func(u, v int, w int64) bool {
+		got = append(got, [2]int{u, v})
+		return true
+	})
+	want := [][2]int{{0, 1}, {1, 2}, {3, 4}}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("ForestEdges = %v", got)
+	}
+}
+
+func BenchmarkKruskalUpdate(b *testing.B) {
+	const n = 256
+	k := NewKruskal(n)
+	rng := xrand.New(1)
+	for i := 0; i < 2*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			k.InsertEdge(u, v, rng.Int63()%1000+1)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if k.DeleteEdge(u, v) != nil {
+			k.InsertEdge(u, v, rng.Int63()%1000+1)
+		}
+	}
+}
+
+func BenchmarkLCTScanUpdate(b *testing.B) {
+	const n = 256
+	s := NewLCTScan(n)
+	rng := xrand.New(2)
+	for i := 0; i < 2*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			s.InsertEdge(u, v, rng.Int63()%1000+1)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if s.DeleteEdge(u, v) != nil {
+			s.InsertEdge(u, v, rng.Int63()%1000+1)
+		}
+	}
+}
+
+func TestSelfLoopRejected(t *testing.T) {
+	if err := NewKruskal(3).InsertEdge(1, 1, 5); err != ErrSelfLoop {
+		t.Fatalf("kruskal self loop: %v", err)
+	}
+	if err := NewLCTScan(3).InsertEdge(1, 1, 5); err != ErrSelfLoop {
+		t.Fatalf("lct-scan self loop: %v", err)
+	}
+}

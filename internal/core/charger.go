@@ -1,0 +1,99 @@
+package core
+
+import (
+	"parmsf/internal/pram"
+	"parmsf/internal/tourney"
+)
+
+// Charger accounts the cost of structural primitives. The sequential
+// algorithm (Section 2) installs SeqCharger, whose costs are measured by the
+// wall clock and whose hooks are no-ops. The parallel algorithm (Section 3)
+// installs a PRAMCharger wrapping an EREW machine: every primitive charges
+// the depth and width the corresponding lemma prescribes, and the
+// reduction-shaped primitives run real tournament kernels on the machine.
+type Charger interface {
+	// Seq charges cost rounds of single-processor host work ("processor p1
+	// does X", as in Lemmas 3.1-3.3).
+	Seq(cost int)
+	// Par charges one fixed-shape kernel of the given depth and width.
+	Par(depth, width int)
+	// Climb charges a balanced-tree sweep over width items: depth
+	// ceil(log2 width), geometric width (total work O(width)).
+	Climb(width int)
+	// Machine returns the underlying PRAM, or nil for sequential execution.
+	Machine() *pram.Machine
+}
+
+// SeqCharger is the free charger of the sequential driver.
+type SeqCharger struct{}
+
+// Seq implements Charger.
+func (SeqCharger) Seq(int) {}
+
+// Par implements Charger.
+func (SeqCharger) Par(int, int) {}
+
+// Climb implements Charger.
+func (SeqCharger) Climb(int) {}
+
+// Machine implements Charger.
+func (SeqCharger) Machine() *pram.Machine { return nil }
+
+// PRAMCharger charges costs on an EREW PRAM machine.
+type PRAMCharger struct{ M *pram.Machine }
+
+// Seq implements Charger.
+func (c PRAMCharger) Seq(cost int) { c.M.Seq(int64(cost)) }
+
+// Par implements Charger.
+func (c PRAMCharger) Par(depth, width int) { c.M.Steps(depth, width) }
+
+// Climb implements Charger.
+func (c PRAMCharger) Climb(width int) {
+	for w := width; w > 0; w /= 2 {
+		c.M.Steps(1, w)
+		if w == 1 {
+			break
+		}
+	}
+}
+
+// Machine implements Charger.
+func (c PRAMCharger) Machine() *pram.Machine { return c.M }
+
+// parKernels holds the lazily-created tournament structures of Section 3.
+type parKernels struct {
+	m *pram.Machine
+	// rowForest is the J-tree tournament of Lemma 3.1, used to rebuild a
+	// chunk's CAdj row after a split: one tree per destination chunk id,
+	// one leaf per edge incident to the chunk.
+	rowForest *tourney.Forest
+	entries   []tourney.Entry
+}
+
+func (st *Store) kernels() *parKernels {
+	m := st.ch.Machine()
+	if m == nil {
+		return nil
+	}
+	if st.par == nil {
+		st.par = &parKernels{
+			m:         m,
+			rowForest: tourney.NewForest(m, st.J, 3*st.K+4),
+			entries:   make([]tourney.Entry, 0, 3*st.K+4),
+		}
+	}
+	return st.par
+}
+
+// log2ceil returns ceil(log2(x)) for x >= 1.
+func log2ceil(x int) int {
+	r := 0
+	for w := 1; w < x; w *= 2 {
+		r++
+	}
+	return r
+}
+
+// NewPRAMForTest returns a fresh EREW machine (test convenience re-export).
+func NewPRAMForTest(check bool) *pram.Machine { return pram.New(check) }

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+
+	"parmsf/internal/graph"
+	"parmsf/internal/seqtree"
+)
+
+// CheckInvariants exhaustively verifies the structure against its paper
+// invariants: principal-copy rings, Euler-tour validity, Invariant 1, CAdj
+// ground truth, LSDS aggregation, and registry consistency. It is O(n + J^2)
+// and meant for tests. expectForest is the set of tree edge IDs (from the
+// engine); pass nil to skip Euler-tour/forest cross-checks.
+func (st *Store) CheckInvariants() error {
+	// --- Vertices: rings and principal copies. ---
+	for v := 0; v < st.n; v++ {
+		pc := st.pcs[v]
+		if pc == nil || !pc.principal || int(pc.v) != v {
+			return fmt.Errorf("vertex %d: bad principal copy", v)
+		}
+		count, principals := 0, 0
+		cp := pc
+		for {
+			if int(cp.v) != v {
+				return fmt.Errorf("vertex %d: ring contains copy of %d", v, cp.v)
+			}
+			if cp.principal {
+				principals++
+			}
+			if cp.ringNext.ringPrev != cp {
+				return fmt.Errorf("vertex %d: ring links broken", v)
+			}
+			count++
+			cp = cp.ringNext
+			if cp == pc {
+				break
+			}
+			if count > 8 {
+				return fmt.Errorf("vertex %d: ring too large", v)
+			}
+		}
+		if principals != 1 {
+			return fmt.Errorf("vertex %d: %d principal copies", v, principals)
+		}
+		wantCopies := st.treeDegree(v)
+		if wantCopies == 0 {
+			wantCopies = 1
+		}
+		if count != wantCopies {
+			return fmt.Errorf("vertex %d: %d copies, want %d (tree degree)", v, count, wantCopies)
+		}
+	}
+
+	// --- Tours: structure, chunk partition, Euler validity, Invariant 1.
+	seenChunks := map[*Chunk]bool{}
+	seenCopies := map[*Copy]bool{}
+	for root, t := range st.tourByRoot {
+		if t.root != root {
+			return fmt.Errorf("tourByRoot maps to tour with different root")
+		}
+		if root.Parent() != nil {
+			return fmt.Errorf("tour root has a parent")
+		}
+		if err := seqtree.Validate(root); err != nil {
+			return fmt.Errorf("LSDS: %w", err)
+		}
+		nChunks := 0
+		registered := 0
+		var tourCopies []*Copy
+		var walkErr error
+		seqtree.Leaves(root, func(l *lsNode) bool {
+			c := lsItem(l)
+			nChunks++
+			if seenChunks[c] {
+				walkErr = fmt.Errorf("chunk appears in two tours")
+				return false
+			}
+			seenChunks[c] = true
+			if c.leaf != l {
+				walkErr = fmt.Errorf("chunk leaf backpointer wrong")
+				return false
+			}
+			if c.bt == nil {
+				walkErr = fmt.Errorf("dead chunk in tour")
+				return false
+			}
+			if err := seqtree.Validate(c.bt); err != nil {
+				walkErr = fmt.Errorf("BTc: %v", err)
+				return false
+			}
+			if c.id >= 0 {
+				registered++
+				if st.chunks[c.id] != c {
+					walkErr = fmt.Errorf("chunk id table mismatch")
+					return false
+				}
+			}
+			seqtree.Leaves(c.bt, func(b *btNode) bool {
+				cp := btItem(b)
+				if seenCopies[cp] {
+					walkErr = fmt.Errorf("copy appears twice")
+					return false
+				}
+				seenCopies[cp] = true
+				if cp.chunk != c || cp.leaf != b {
+					walkErr = fmt.Errorf("copy backpointers wrong")
+					return false
+				}
+				wantEdges := int32(0)
+				if cp.principal {
+					wantEdges = int32(st.g.Degree(int(cp.v)))
+				}
+				if b.Agg.copies != 1 || b.Agg.edges != wantEdges {
+					walkErr = fmt.Errorf("BTc leaf agg (%d,%d), want (1,%d) for v=%d",
+						b.Agg.copies, b.Agg.edges, wantEdges, cp.v)
+					return false
+				}
+				tourCopies = append(tourCopies, cp)
+				return true
+			})
+			return walkErr == nil
+		})
+		if walkErr != nil {
+			return walkErr
+		}
+
+		// Invariant 1 and registration policy.
+		seqtree.Leaves(root, func(l *lsNode) bool {
+			c := lsItem(l)
+			nc := c.nc()
+			if nc > 3*st.K {
+				walkErr = fmt.Errorf("Invariant 1: n_c=%d > 3K=%d", nc, 3*st.K)
+				return false
+			}
+			if nChunks > 1 {
+				if nc < st.K {
+					walkErr = fmt.Errorf("Invariant 1: n_c=%d < K=%d in multi-chunk list", nc, st.K)
+					return false
+				}
+				if c.id < 0 {
+					walkErr = fmt.Errorf("unregistered chunk in multi-chunk list")
+					return false
+				}
+			} else {
+				if c.id < 0 && nc >= st.K {
+					walkErr = fmt.Errorf("single chunk with n_c=%d >= K unregistered", nc)
+					return false
+				}
+				if c.id >= 0 && nc < st.K {
+					walkErr = fmt.Errorf("single chunk with n_c=%d < K registered", nc)
+					return false
+				}
+			}
+			return true
+		})
+		if walkErr != nil {
+			return walkErr
+		}
+
+		// Registry status.
+		if (registered > 0) != (t.regIdx >= 0) {
+			return fmt.Errorf("tour normal status %v but %d registered chunks", t.regIdx >= 0, registered)
+		}
+		if t.regIdx >= 0 && st.normal[t.regIdx] != t {
+			return fmt.Errorf("normal registry index broken")
+		}
+
+		// Cyclic order matches the linear chunk order, and consecutive
+		// pairs are tree edges visited once per direction.
+		for i, cp := range tourCopies {
+			nxt := tourCopies[(i+1)%len(tourCopies)]
+			if cp.next != nxt || nxt.prev != cp {
+				return fmt.Errorf("cyclic links disagree with chunk order at %d", cp.v)
+			}
+		}
+		if len(tourCopies) > 1 {
+			type dir struct{ from, to int32 }
+			pairSeen := map[dir]int{}
+			for i, cp := range tourCopies {
+				nxt := tourCopies[(i+1)%len(tourCopies)]
+				e := st.g.Find(int(cp.v), int(nxt.v))
+				if e == nil || !e.Tree {
+					return fmt.Errorf("tour pair (%d,%d) is not a tree edge", cp.v, nxt.v)
+				}
+				pairSeen[dir{cp.v, nxt.v}]++
+			}
+			for d, k := range pairSeen {
+				if k != 1 {
+					return fmt.Errorf("directed pair (%d,%d) visited %d times", d.from, d.to, k)
+				}
+			}
+		}
+	}
+
+	// Every copy reachable from vertices must have been visited.
+	for v := 0; v < st.n; v++ {
+		cp := st.pcs[v]
+		for first := true; first || cp != st.pcs[v]; first = false {
+			if !seenCopies[cp] {
+				return fmt.Errorf("vertex %d has a copy not in any tour", v)
+			}
+			cp = cp.ringNext
+		}
+	}
+
+	// --- Tree edges: occurrence anchors. ---
+	var edgeErr error
+	st.g.Edges(func(e *graph.Edge) bool {
+		if !e.Tree {
+			return true
+		}
+		if int(e.ID) >= len(st.occU) {
+			edgeErr = fmt.Errorf("tree edge %v has no occurrence table entry", e)
+			return false
+		}
+		a, c := st.occU[e.ID], st.occV[e.ID]
+		if a == nil || c == nil {
+			edgeErr = fmt.Errorf("tree edge %v missing occurrence anchors", e)
+			return false
+		}
+		if a.v != e.U || a.next.v != e.V || c.v != e.V || c.next.v != e.U {
+			edgeErr = fmt.Errorf("tree edge %v anchors inconsistent", e)
+			return false
+		}
+		return true
+	})
+	if edgeErr != nil {
+		return edgeErr
+	}
+
+	// --- CAdj ground truth. ---
+	exp := make(map[[2]int32]Weight)
+	st.g.Edges(func(e *graph.Edge) bool {
+		a := st.pcs[e.U].chunk
+		b := st.pcs[e.V].chunk
+		if a.id < 0 || b.id < 0 {
+			return true
+		}
+		k1 := [2]int32{a.id, b.id}
+		k2 := [2]int32{b.id, a.id}
+		if w, ok := exp[k1]; !ok || e.W < w {
+			exp[k1] = e.W
+			exp[k2] = e.W
+		}
+		return true
+	})
+	for i := 0; i < st.J; i++ {
+		if st.chunks[i] == nil {
+			// Free rows/columns must be clear.
+			for j := 0; j < st.J; j++ {
+				if st.C[i*st.J+j] != Inf {
+					return fmt.Errorf("free row %d has entry %d", i, j)
+				}
+			}
+			continue
+		}
+		for j := 0; j < st.J; j++ {
+			want, ok := exp[[2]int32{int32(i), int32(j)}]
+			if !ok {
+				want = Inf
+			}
+			if got := st.C[i*st.J+j]; got != want {
+				return fmt.Errorf("CAdj[%d][%d] = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+
+	// --- LSDS aggregation ground truth. ---
+	for _, t := range st.tourByRoot {
+		if err := st.checkVecs(t.root); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// treeDegree returns the number of tree edges incident to v.
+func (st *Store) treeDegree(v int) int {
+	d := 0
+	st.g.Incident(v, func(e *graph.Edge) bool {
+		if e.Tree {
+			d++
+		}
+		return true
+	})
+	return d
+}
+
+// checkVecs verifies internal vectors bottom-up.
+func (st *Store) checkVecs(nd *lsNode) error {
+	if nd.IsLeaf() {
+		return nil
+	}
+	if err := st.checkVecs(nd.Left()); err != nil {
+		return err
+	}
+	if err := st.checkVecs(nd.Right()); err != nil {
+		return err
+	}
+	for j := 0; j < st.J; j++ {
+		lw, lm := st.columnEntry(nd.Left(), int32(j))
+		rw, rm := st.columnEntry(nd.Right(), int32(j))
+		if rw < lw {
+			lw = rw
+		}
+		if got := nd.Agg.cadj[j]; got != lw {
+			return fmt.Errorf("LSDS cadj[%d] = %v, want %v", j, got, lw)
+		}
+		if got := hasBit(nd.Agg.memb, j); got != (lm || rm) {
+			return fmt.Errorf("LSDS memb[%d] = %v, want %v", j, got, lm || rm)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"parmsf/internal/seqtree"
+)
+
+// Dump renders the live structure in the layout of the paper's Figure 1:
+// each Euler tour as its chunk-partitioned copy list (principal copies
+// starred), the registered chunks' CAdj rows, and the LSDS shapes. Intended
+// for debugging and for cmd/msfviz.
+func (st *Store) Dump(w io.Writer) {
+	fmt.Fprintf(w, "core structure: n=%d K=%d J=%d registered=%d\n",
+		st.n, st.K, st.J, st.RegisteredChunks())
+
+	// Deterministic tour order: by smallest vertex in the tour.
+	type tourInfo struct {
+		minV int
+		t    *Tour
+	}
+	var tours []tourInfo
+	for _, t := range st.tourByRoot {
+		minV := 1 << 30
+		seqtree.Leaves(t.root, func(l *lsNode) bool {
+			seqtree.Leaves(lsItem(l).bt, func(b *btNode) bool {
+				if v := int(btItem(b).v); v < minV {
+					minV = v
+				}
+				return true
+			})
+			return true
+		})
+		tours = append(tours, tourInfo{minV, t})
+	}
+	sort.Slice(tours, func(i, j int) bool { return tours[i].minV < tours[j].minV })
+
+	for _, ti := range tours {
+		t := ti.t
+		kind := "tour"
+		if t.Short() {
+			kind = "short"
+		}
+		fmt.Fprintf(w, "\n%s (LSDS height %d):\n", kind, t.root.Height())
+		seqtree.Leaves(t.root, func(l *lsNode) bool {
+			c := lsItem(l)
+			var copies []string
+			seqtree.Leaves(c.bt, func(b *btNode) bool {
+				cp := btItem(b)
+				s := fmt.Sprintf("u%d", cp.v)
+				if cp.principal {
+					s += "*"
+				}
+				copies = append(copies, s)
+				return true
+			})
+			id := "-"
+			if c.id >= 0 {
+				id = fmt.Sprintf("%d", c.id)
+			}
+			fmt.Fprintf(w, "  chunk[id=%s] n_c=%d/%d: %s\n",
+				id, c.nc(), 3*st.K, strings.Join(copies, " "))
+			return true
+		})
+	}
+
+	// CAdj rows restricted to live ids, in id order.
+	var ids []int
+	for id, c := range st.chunks {
+		if c != nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	if len(ids) > 0 {
+		fmt.Fprintf(w, "\nCAdj (rows/cols = registered chunk ids %v):\n", ids)
+		for _, i := range ids {
+			var cells []string
+			for _, j := range ids {
+				if v := st.C[i*st.J+j]; v == Inf {
+					cells = append(cells, "inf")
+				} else {
+					cells = append(cells, fmt.Sprintf("%d", v))
+				}
+			}
+			fmt.Fprintf(w, "  [%2d] %s\n", i, strings.Join(cells, " "))
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpRendersStructure(t *testing.T) {
+	m := NewMSF(6, Config{}, SeqCharger{})
+	for _, e := range [][3]int{
+		{0, 2, 1}, {0, 1, 2}, {2, 4, 5}, {3, 4, 7}, {3, 5, 3}, {4, 5, 1},
+	} {
+		mustIns(t, m, e[0], e[1], Weight(e[2]))
+	}
+	var sb strings.Builder
+	m.Store().Dump(&sb)
+	out := sb.String()
+	for _, want := range []string{"core structure", "chunk[", "u0", "n_c="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	// Principal copies are starred; with 6 vertices there must be 6 stars.
+	if got := strings.Count(out, "*"); got != 6 {
+		t.Fatalf("dump shows %d principal stars, want 6:\n%s", got, out)
+	}
+}
+
+func TestDumpShortVsRegistered(t *testing.T) {
+	// Small K forces registration; a lone vertex stays short.
+	m := NewMSF(12, Config{K: 8}, SeqCharger{})
+	for i := 0; i < 10; i++ {
+		mustIns(t, m, i, i+1, Weight(i+1))
+	}
+	var sb strings.Builder
+	m.Store().Dump(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "short") {
+		t.Fatalf("expected a short tour in dump:\n%s", out)
+	}
+	if !strings.Contains(out, "CAdj") {
+		t.Fatalf("expected CAdj section in dump:\n%s", out)
+	}
+}

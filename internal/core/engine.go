@@ -1,0 +1,255 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"parmsf/internal/graph"
+	"parmsf/internal/lct"
+	"parmsf/internal/seqtree"
+)
+
+// MSF maintains a minimum spanning forest of a dynamic bounded-degree
+// sparse graph (Theorem 1.2 with the sequential charger; Theorem 3.1 with a
+// PRAM charger). General graphs are handled by the wrappers in
+// internal/ternary and internal/sparsify.
+type MSF struct {
+	st   *Store
+	lf   *lct.Forest
+	lctE []*lct.Edge // by graph edge ID
+	w    Weight
+	size int
+
+	// Events, when non-nil, is invoked whenever an edge enters (added=true)
+	// or leaves (added=false) the maintained forest. The sparsification
+	// tree (Section 5) uses these deltas to keep parent local graphs equal
+	// to the union of child forests.
+	Events func(u, v int, w Weight, added bool)
+}
+
+// ErrNotFound reports a DeleteEdge of an absent edge.
+var ErrNotFound = errors.New("core: edge not in graph")
+
+// NewMSF creates an empty forest structure over n vertices with degree
+// bound 3.
+func NewMSF(n int, cfg Config, ch Charger) *MSF {
+	g := graph.New(n, 3)
+	return &MSF{st: NewStore(g, cfg, ch), lf: lct.New(n)}
+}
+
+// Store exposes the underlying structure (benchmarks and tests).
+func (m *MSF) Store() *Store { return m.st }
+
+// Graph exposes the underlying graph.
+func (m *MSF) Graph() *graph.G { return m.st.g }
+
+// Weight returns the total weight of the current forest.
+func (m *MSF) Weight() Weight { return m.w }
+
+// ForestSize returns the number of forest edges.
+func (m *MSF) ForestSize() int { return m.size }
+
+// Connected reports whether u and v are in one tree (O(log n)).
+func (m *MSF) Connected(u, v int) bool {
+	m.st.ch.Seq(log2ceil(m.st.n + 1))
+	return m.lf.Connected(u, v)
+}
+
+// ForestEdges calls f for every forest edge.
+func (m *MSF) ForestEdges(f func(u, v int, w Weight) bool) {
+	m.st.g.Edges(func(e *graph.Edge) bool {
+		if e.Tree {
+			return f(int(e.U), int(e.V), e.W)
+		}
+		return true
+	})
+}
+
+// ErrWeight reports a weight equal to the reserved Inf sentinel.
+var ErrWeight = errors.New("core: weight must be below Inf")
+
+// InsertEdge adds edge (u, v) with weight w, updating the forest (Section
+// 2.6 / 3.4 insertion).
+func (m *MSF) InsertEdge(u, v int, w Weight) error {
+	if w == Inf {
+		return ErrWeight
+	}
+	e, err := m.st.g.Insert(u, v, w)
+	if err != nil {
+		return err
+	}
+	m.growTables()
+	st := m.st
+
+	// Record the new incidences: the principal copies' chunks are charged
+	// with one more edge each, and the CAdj entry pair gets a min-update.
+	pu, pv := st.pcs[u], st.pcs[v]
+	st.bumpCharge(pu, +1)
+	if pv != pu {
+		st.bumpCharge(pv, +1)
+	}
+	st.noteEdgeEntryInserted(e)
+	st.normalize([]*Chunk{pu.chunk, pv.chunk})
+
+	st.ch.Seq(log2ceil(st.n + 1)) // dynamic-tree query cost
+	if !m.lf.Connected(u, v) {
+		m.becomeTree(e)
+		return nil
+	}
+	heavy := m.lf.PathMaxEdge(u, v)
+	if w < heavy.W {
+		old := st.g.Find(heavy.U, heavy.V)
+		if old == nil || !old.Tree {
+			panic("core: path-max edge not a tree edge")
+		}
+		m.removeFromForest(old)
+		m.becomeTree(e)
+	}
+	return nil
+}
+
+// DeleteEdge removes edge (u, v), finding a replacement when a tree edge is
+// deleted (Section 2.6 / 3.4 deletion).
+func (m *MSF) DeleteEdge(u, v int) error {
+	st := m.st
+	e := st.g.Find(u, v)
+	if e == nil {
+		return ErrNotFound
+	}
+	wasTree := e.Tree
+	eid := e.ID
+	var occA, occB *Copy
+	if wasTree {
+		occA, occB = st.occU[eid], st.occV[eid]
+	}
+	if _, err := st.g.Delete(u, v); err != nil {
+		return err
+	}
+
+	pu, pv := st.pcs[u], st.pcs[v]
+	st.bumpCharge(pu, -1)
+	if pv != pu {
+		st.bumpCharge(pv, -1)
+	}
+	st.recomputeEntryPair(pu.chunk, pv.chunk)
+
+	if !wasTree {
+		st.normalize([]*Chunk{pu.chunk, pv.chunk})
+		return nil
+	}
+
+	st.ch.Seq(log2ceil(st.n + 1)) // dynamic-tree cut
+	m.lf.Cut(m.lctE[eid])
+	m.lctE[eid] = nil
+	m.w -= e.W
+	m.size--
+	if m.Events != nil {
+		m.Events(u, v, e.W, false)
+	}
+
+	t1, t2, dirty := st.cutTours(e, occA, occB)
+	// Re-read the principal copies: surgery may have deleted the old ones.
+	dirty = append(dirty, st.pcs[u].chunk, st.pcs[v].chunk)
+	st.normalize(dirty)
+	st.normTourStatus(t1)
+	st.normTourStatus(t2)
+
+	if r := st.MWR(t1, t2); r != nil {
+		m.becomeTree(r)
+	}
+	return nil
+}
+
+// becomeTree promotes graph edge e to a forest edge: dynamic-tree link plus
+// tour splice.
+func (m *MSF) becomeTree(e *graph.Edge) {
+	st := m.st
+	st.ch.Seq(log2ceil(st.n + 1))
+	m.lctE[e.ID] = m.lf.Link(int(e.U), int(e.V), e.W)
+	e.Tree = true
+	m.w += e.W
+	m.size++
+	if m.Events != nil {
+		m.Events(int(e.U), int(e.V), e.W, true)
+	}
+	dirty := st.linkTours(e)
+	st.normalize(dirty)
+	st.normTourStatus(st.tourOf(st.pcs[e.U].chunk))
+}
+
+// removeFromForest demotes tree edge e to a non-tree edge (the cycle-swap
+// path of insertion): dynamic-tree cut plus tour split. The edge stays in
+// the graph and in CAdj.
+func (m *MSF) removeFromForest(e *graph.Edge) {
+	st := m.st
+	st.ch.Seq(log2ceil(st.n + 1))
+	m.lf.Cut(m.lctE[e.ID])
+	m.lctE[e.ID] = nil
+	e.Tree = false
+	m.w -= e.W
+	m.size--
+	if m.Events != nil {
+		m.Events(int(e.U), int(e.V), e.W, false)
+	}
+	occA, occB := st.occU[e.ID], st.occV[e.ID]
+	t1, t2, dirty := st.cutTours(e, occA, occB)
+	st.normalize(dirty)
+	st.normTourStatus(t1)
+	st.normTourStatus(t2)
+}
+
+// growTables sizes the per-edge side tables to the graph's ID bound.
+func (m *MSF) growTables() {
+	bound := m.st.g.IDBound()
+	for len(m.lctE) < bound {
+		m.lctE = append(m.lctE, nil)
+	}
+	for len(m.st.occU) < bound {
+		m.st.occU = append(m.st.occU, nil)
+		m.st.occV = append(m.st.occV, nil)
+	}
+}
+
+// bumpCharge adjusts the edge charge of a principal copy's chunk after an
+// incident edge appeared (+1) or disappeared (-1).
+func (st *Store) bumpCharge(cp *Copy, delta int32) {
+	if !cp.principal {
+		panic("core: bumpCharge on non-principal copy")
+	}
+	cp.leaf.Agg = btAgg{copies: 1, edges: cp.leaf.Agg.edges + delta}
+	st.btOp(func() { st.btT.RefreshUp(cp.leaf) })
+}
+
+// DebugString summarizes the structure (for failure messages in tests).
+func (m *MSF) DebugString() string {
+	st := m.st
+	reg := 0
+	for _, c := range st.chunks {
+		if c != nil {
+			reg++
+		}
+	}
+	return fmt.Sprintf("core.MSF{n=%d m=%d forest=%d K=%d J=%d registered=%d normalTours=%d}",
+		st.n, st.g.M(), m.size, st.K, st.J, reg, len(st.normal))
+}
+
+// VerifyTours is a test hook: checks every tour's cyclic order matches its
+// chunk sequence.
+func (m *MSF) VerifyTours() error {
+	for root, t := range m.st.tourByRoot {
+		if t.root != root {
+			return fmt.Errorf("tour root map inconsistent")
+		}
+		if err := seqtree.Validate(root); err != nil {
+			return err
+		}
+		if !m.st.verifyTourMatchesCycle(t) {
+			return fmt.Errorf("tour cyclic order does not match chunk sequence")
+		}
+	}
+	return nil
+}
+
+// SetEvents installs the forest-change callback (Engine interface form of
+// the Events field).
+func (m *MSF) SetEvents(f func(u, v int, w Weight, added bool)) { m.Events = f }

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parmsf/internal/xrand"
+)
+
+// TestQuickEngineScripts lets testing/quick generate whole update scripts;
+// after each script the engine must match Kruskal and pass the full
+// invariant audit. This explores op interleavings the hand-written churn
+// tests never pick.
+func TestQuickEngineScripts(t *testing.T) {
+	type script struct {
+		Seed uint64
+		N    uint8
+		Ops  []uint32
+	}
+	run := func(s script) bool {
+		n := int(s.N)%28 + 4
+		if len(s.Ops) > 250 {
+			s.Ops = s.Ops[:250]
+		}
+		m := NewMSF(n, Config{}, SeqCharger{})
+		rng := xrand.New(s.Seed)
+		type pair struct{ u, v int }
+		var live []pair
+		w := Weight(1)
+		for _, op := range s.Ops {
+			u := int(op>>1) % n
+			v := int(op>>9) % n
+			if op&1 == 0 || len(live) == 0 {
+				if u == v {
+					continue
+				}
+				if err := m.InsertEdge(u, v, w); err == nil {
+					live = append(live, pair{u, v})
+				}
+				w += Weight(1 + (op>>17)%5)
+			} else {
+				i := rng.Intn(len(live))
+				p := live[i]
+				if err := m.DeleteEdge(p.u, p.v); err != nil {
+					return false
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		if err := m.Store().CheckInvariants(); err != nil {
+			t.Logf("invariants: %v", err)
+			return false
+		}
+		wantW, wantN := kruskal(m.Graph())
+		return m.Weight() == wantW && m.ForestSize() == wantN
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWeightExtremes: the engine must behave for weights across the
+// full admissible range (negative, huge, adjacent to the Inf sentinel).
+func TestQuickWeightExtremes(t *testing.T) {
+	run := func(raw [6]int64) bool {
+		m := NewMSF(4, Config{}, SeqCharger{})
+		ws := make([]Weight, 6)
+		for i, r := range raw {
+			w := r
+			if w == Inf {
+				w = Inf - 1
+			}
+			ws[i] = w
+		}
+		pairs := [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 2}, {1, 3}, {0, 3}}
+		for i, p := range pairs {
+			if err := m.InsertEdge(p[0], p[1], ws[i]); err != nil {
+				return false
+			}
+		}
+		if err := m.Store().CheckInvariants(); err != nil {
+			return false
+		}
+		wantW, wantN := kruskal(m.Graph())
+		if m.Weight() != wantW || m.ForestSize() != wantN {
+			return false
+		}
+		// Tear down in insertion order.
+		for _, p := range pairs {
+			if err := m.DeleteEdge(p[0], p[1]); err != nil {
+				return false
+			}
+		}
+		return m.ForestSize() == 0 && m.Weight() == 0
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInfWeightRejected(t *testing.T) {
+	m := NewMSF(3, Config{}, SeqCharger{})
+	if err := m.InsertEdge(0, 1, Inf); err != ErrWeight {
+		t.Fatalf("Inf weight: %v", err)
+	}
+	if err := m.InsertEdge(0, 1, Inf-1); err != nil {
+		t.Fatalf("Inf-1 should be accepted: %v", err)
+	}
+}
+
+// TestTinyGraphs exercises the smallest configurations exhaustively.
+func TestTinyGraphs(t *testing.T) {
+	// n=2: single possible edge, repeatedly.
+	m := NewMSF(2, Config{}, SeqCharger{})
+	for i := 0; i < 20; i++ {
+		if err := m.InsertEdge(0, 1, Weight(i+1)); err != nil {
+			t.Fatal(err)
+		}
+		if !m.Connected(0, 1) || m.Weight() != Weight(i+1) {
+			t.Fatalf("iter %d: bad state", i)
+		}
+		if err := m.DeleteEdge(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if m.Connected(0, 1) {
+			t.Fatal("still connected")
+		}
+		if err := m.Store().CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// n=3: all triangle permutations of insertion and deletion.
+	perms := [][3][2]int{
+		{{0, 1}, {1, 2}, {0, 2}}, {{0, 1}, {0, 2}, {1, 2}},
+		{{1, 2}, {0, 2}, {0, 1}}, {{0, 2}, {0, 1}, {1, 2}},
+	}
+	for pi, ins := range perms {
+		for di, del := range perms {
+			m := NewMSF(3, Config{}, SeqCharger{})
+			for i, e := range ins {
+				if err := m.InsertEdge(e[0], e[1], Weight(10+i)); err != nil {
+					t.Fatalf("perm %d/%d: %v", pi, di, err)
+				}
+			}
+			for _, e := range del {
+				if err := m.DeleteEdge(e[0], e[1]); err != nil {
+					t.Fatalf("perm %d/%d: %v", pi, di, err)
+				}
+				if err := m.Store().CheckInvariants(); err != nil {
+					t.Fatalf("perm %d/%d: %v", pi, di, err)
+				}
+			}
+		}
+	}
+}
+
+// TestBridgeChain: long path where every edge is a bridge — every deletion
+// splits a tour, no replacement exists, and re-linking re-merges.
+func TestBridgeChain(t *testing.T) {
+	const n = 200
+	m := NewMSF(n, Config{}, SeqCharger{})
+	for i := 0; i+1 < n; i++ {
+		if err := m.InsertEdge(i, i+1, Weight(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.ForestSize() != n-1 {
+		t.Fatal("path not fully linked")
+	}
+	// Remove every third edge: 3-segment fragmentation.
+	for i := 0; i+1 < n; i += 3 {
+		if err := m.DeleteEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Store().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	wantW, wantN := kruskal(m.Graph())
+	if m.Weight() != wantW || m.ForestSize() != wantN {
+		t.Fatal("fragmented state diverged from Kruskal")
+	}
+	// Repair.
+	for i := 0; i+1 < n; i += 3 {
+		if err := m.InsertEdge(i, i+1, Weight(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.Connected(0, n-1) {
+		t.Fatal("repair did not reconnect the path")
+	}
+	if err := m.Store().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNegativeWeights: the structure must be weight-sign agnostic.
+func TestNegativeWeights(t *testing.T) {
+	m := NewMSF(8, Config{}, SeqCharger{})
+	rng := xrand.New(55)
+	type pair struct{ u, v int }
+	var live []pair
+	for step := 0; step < 400; step++ {
+		if rng.Bool() || len(live) == 0 {
+			u, v := rng.Intn(8), rng.Intn(8)
+			if u == v {
+				continue
+			}
+			w := rng.Int63()%2001 - 1000 // [-1000, 1000]
+			if err := m.InsertEdge(u, v, w); err == nil {
+				live = append(live, pair{u, v})
+			}
+		} else {
+			i := rng.Intn(len(live))
+			p := live[i]
+			if err := m.DeleteEdge(p.u, p.v); err != nil {
+				t.Fatal(err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		wantW, wantN := kruskal(m.Graph())
+		if m.Weight() != wantW || m.ForestSize() != wantN {
+			t.Fatalf("step %d: diverged with negative weights", step)
+		}
+	}
+	if err := m.Store().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"parmsf/internal/graph"
+	"parmsf/internal/seqtree"
+	"parmsf/internal/tourney"
+)
+
+// forEachChargedEdge calls f for every edge charged to chunk c: edges
+// incident to graph vertices whose principal copy lies in c (at most 3 per
+// principal copy, so O(K) total under Invariant 1). The chunk's copies are
+// contiguous in the tour chain, so the scan follows next pointers from the
+// first to the last BTc leaf — cheaper than recursing through the tree.
+func (st *Store) forEachChargedEdge(c *Chunk, f func(cp *Copy, e *graph.Edge)) {
+	last := btItem(seqtree.Last(c.bt))
+	for cp := btItem(seqtree.First(c.bt)); ; cp = cp.next {
+		if cp.principal {
+			st.g.Incident(int(cp.v), func(e *graph.Edge) bool {
+				f(cp, e)
+				return true
+			})
+		}
+		if cp == last {
+			return
+		}
+	}
+}
+
+// otherChunk returns the chunk charged with the far endpoint of e relative
+// to vertex v (i.e. the chunk holding the principal copy of the other
+// endpoint).
+func (st *Store) otherChunk(e *graph.Edge, v int32) *Chunk {
+	return st.pcs[e.Other(v)].chunk
+}
+
+// rebuildRow recomputes registered chunk c's CAdj row from its charged
+// edges, pushes the symmetric column, sweeps the column through all LSDS
+// trees and refreshes c's own path (Lemma 2.2 sequentially; Lemma 3.1 with
+// the tournament forest in the parallel driver).
+func (st *Store) rebuildRow(c *Chunk) {
+	if c.id < 0 {
+		panic("core: rebuildRow on unregistered chunk")
+	}
+	st.sts.RowRebuilds++
+	c.rowStale = false
+	row := st.row(c.id)
+	for i := range row {
+		row[i] = Inf
+	}
+	st.ch.Par(1, st.J) // parallel row clear: one round, J processors
+
+	if k := st.kernels(); k != nil {
+		// Section 3.1: assign a processor per charged edge via getEdge
+		// (O(log K) phases over BTc) and resolve same-destination writes
+		// with the four-phase tournament.
+		ec := c.edgeCount()
+		st.ch.Par(btHeight(c)+3, ec) // getEdge assignment phases
+		k.entries = k.entries[:0]
+		st.forEachChargedEdge(c, func(cp *Copy, e *graph.Edge) {
+			oc := st.otherChunk(e, cp.v)
+			if oc.id < 0 {
+				k.entries = append(k.entries, tourney.Entry{Tree: -1})
+				return
+			}
+			k.entries = append(k.entries, tourney.Entry{Tree: oc.id, Val: e.W, Payload: e.ID})
+		})
+		k.rowForest.Run(k.entries, func(tree int32, val int64, _ int32) {
+			row[tree] = val
+		})
+	} else {
+		st.forEachChargedEdge(c, func(cp *Copy, e *graph.Edge) {
+			oc := st.otherChunk(e, cp.v)
+			if oc.id >= 0 && e.W < row[oc.id] {
+				row[oc.id] = e.W
+			}
+		})
+	}
+
+	st.pushColumn(c)
+	st.sweepColumn(c.id)
+	st.refreshPath(c)
+}
+
+// pushColumn copies row c into column c across all registered rows
+// (CAdj_{c'}[id_c] = CAdj_c[id_{c'}], which holds because the minimum is
+// over the same edge set).
+func (st *Store) pushColumn(c *Chunk) {
+	row := st.row(c.id)
+	for j, oc := range st.chunks {
+		if oc != nil {
+			st.C[j*st.J+int(c.id)] = row[j]
+		}
+	}
+	st.ch.Par(1, st.J)
+}
+
+// clearColumn sets column id to Inf in every registered row.
+func (st *Store) clearColumn(id int32) {
+	for j, oc := range st.chunks {
+		if oc != nil {
+			st.C[j*st.J+int(id)] = Inf
+		}
+	}
+	st.ch.Par(1, st.J)
+}
+
+// sweepColumn recomputes entry id of every internal LSDS node in every
+// normal tour, bottom-up (the second half of UpdateAdj: Lemma 2.3's O(J)
+// scan; Lemma 3.2's parallel leftmost-child climb).
+func (st *Store) sweepColumn(id int32) {
+	st.sts.ColumnSweeps++
+	total := 0
+	for _, t := range st.normal {
+		total += st.sweepColumnTree(t.root, id)
+	}
+	st.ch.Climb(total + 1)
+}
+
+// sweepColumnTree recomputes column id below nd and returns the number of
+// nodes visited.
+func (st *Store) sweepColumnTree(nd *lsNode, id int32) int {
+	if nd.IsLeaf() {
+		return 1
+	}
+	n := 1 + st.sweepColumnTree(nd.Left(), id) + st.sweepColumnTree(nd.Right(), id)
+	w, m := st.columnEntry(nd.Left(), id)
+	w2, m2 := st.columnEntry(nd.Right(), id)
+	if w2 < w {
+		w = w2
+	}
+	nd.Agg.cadj[id] = w
+	i, bit := int(id)/64, uint64(1)<<(uint(id)%64)
+	if m || m2 {
+		nd.Agg.memb[i] |= bit
+	} else {
+		nd.Agg.memb[i] &^= bit
+	}
+	return n
+}
+
+// columnEntry reads entry id of a node's effective vector.
+func (st *Store) columnEntry(nd *lsNode, id int32) (Weight, bool) {
+	if nd.IsLeaf() {
+		c := lsItem(nd)
+		if c.id < 0 {
+			return Inf, false
+		}
+		return st.row(c.id)[id], c.id == id
+	}
+	return nd.Agg.cadj[id], hasBit(nd.Agg.memb, int(id))
+}
+
+// refreshPath recomputes the full vectors of every strict ancestor of c's
+// leaf (the first half of UpdateAdj). Sequential cost O(J log J); parallel
+// cost O(log J) depth with J processors (one per column, Lemma 3.2).
+func (st *Store) refreshPath(c *Chunk) {
+	st.sts.PathRefreshes++
+	depth := 0
+	for nd := c.leaf.Parent(); nd != nil; nd = nd.Parent() {
+		st.lsUpdate(nd)
+		depth++
+	}
+	st.ch.Par(depth, st.J)
+}
+
+// registerChunk gives c a matrix id and publishes its connectivity
+// information (the Section 6 transition from a short list, and the second
+// half of every chunk split).
+func (st *Store) registerChunk(c *Chunk) {
+	if c.id >= 0 {
+		return
+	}
+	st.sts.Registers++
+	st.allocID(c)
+	t := st.tourOf(c)
+	st.setNormal(t, true)
+	st.rebuildRow(c)
+}
+
+// unregisterChunk withdraws c from the matrix (the transition back to a
+// short list).
+func (st *Store) unregisterChunk(c *Chunk) {
+	if c.id < 0 {
+		return
+	}
+	st.sts.Unregisters++
+	row := st.row(c.id)
+	for i := range row {
+		row[i] = Inf
+	}
+	st.ch.Par(1, st.J)
+	st.clearColumn(c.id)
+	id := c.id
+	st.freeID(c)
+	st.sweepColumn(id)
+	st.refreshPath(c)
+}
+
+// noteEdgeEntryInserted records a new graph edge in the matrix: a min-update
+// of the symmetric entry pair plus path refreshes (Section 2.6, insertion).
+func (st *Store) noteEdgeEntryInserted(e *graph.Edge) {
+	c1 := st.pcs[e.U].chunk
+	c2 := st.pcs[e.V].chunk
+	st.ch.Seq(1)
+	if c1.id >= 0 && c2.id >= 0 {
+		if e.W < st.C[int(c1.id)*st.J+int(c2.id)] {
+			st.C[int(c1.id)*st.J+int(c2.id)] = e.W
+		}
+		if e.W < st.C[int(c2.id)*st.J+int(c1.id)] {
+			st.C[int(c2.id)*st.J+int(c1.id)] = e.W
+		}
+		st.refreshPath(c1)
+		if c2 != c1 {
+			st.refreshPath(c2)
+		}
+	}
+}
+
+// recomputeEntryPair recomputes the symmetric entry pair (c1, c2) by
+// scanning c1's charged edges (Section 2.6, deletion: O(K) sequentially,
+// a tournament in parallel).
+func (st *Store) recomputeEntryPair(c1, c2 *Chunk) {
+	if c1.id < 0 || c2.id < 0 {
+		return
+	}
+	st.ch.Par(btHeight(c1)+3, c1.edgeCount())
+	st.ch.Climb(c1.edgeCount() + 1)
+	w := Inf
+	st.forEachChargedEdge(c1, func(cp *Copy, e *graph.Edge) {
+		if st.otherChunk(e, cp.v) == c2 && e.W < w {
+			w = e.W
+		}
+	})
+	if c1 == c2 {
+		// Intra-chunk pair: also count edges charged only via the other
+		// endpoint (both principals are in c1, so the scan above already
+		// saw them; nothing more to do).
+		st.C[int(c1.id)*st.J+int(c1.id)] = w
+		st.refreshPath(c1)
+		return
+	}
+	st.C[int(c1.id)*st.J+int(c2.id)] = w
+	st.C[int(c2.id)*st.J+int(c1.id)] = w
+	st.refreshPath(c1)
+	st.refreshPath(c2)
+}
+
+// btHeight returns the height of c's BTc.
+func btHeight(c *Chunk) int { return c.bt.Height() }

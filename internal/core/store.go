@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"parmsf/internal/graph"
+	"parmsf/internal/seqtree"
+)
+
+// Config sizes the structure. Zero values are filled by defaults: the
+// paper's sequential setting K = sqrt(n log n) (Theorem 1.2) or the parallel
+// setting K = sqrt(n) (Theorem 3.1) depending on the charger installed.
+type Config struct {
+	// K is the chunk size parameter of Invariant 1 (chunks hold between K
+	// and 3K weight). Minimum 8.
+	K int
+	// JSlack scales the id space: J = JSlack*n/K + 8. The analysis needs
+	// sum(n_c) <= 5n, so 6 (the default) leaves headroom for transient
+	// states.
+	JSlack int
+}
+
+func (cfg Config) withDefaults(n int, parallel bool) Config {
+	if cfg.K == 0 {
+		if parallel {
+			cfg.K = int(math.Ceil(math.Sqrt(float64(n))))
+		} else {
+			lg := math.Log2(float64(n) + 2)
+			cfg.K = int(math.Ceil(math.Sqrt(float64(n) * lg)))
+		}
+	}
+	if cfg.K < 8 {
+		cfg.K = 8
+	}
+	if cfg.JSlack == 0 {
+		cfg.JSlack = 6
+	}
+	return cfg
+}
+
+// Stats counts structural events, for the ablation benches.
+type Stats struct {
+	ChunkSplits   int64
+	ChunkMerges   int64
+	RowRebuilds   int64
+	ColumnSweeps  int64
+	PathRefreshes int64
+	Registers     int64
+	Unregisters   int64
+	MWRQueries    int64
+	TourLinks     int64
+	TourCuts      int64
+}
+
+// Store is the shared state of the Section 2 / Section 3 structure.
+type Store struct {
+	g   *graph.G
+	n   int
+	K   int
+	J   int
+	jw  int // memb words = ceil(J/64)
+	ch  Charger
+	sts Stats
+
+	// C is the J x J CAdj matrix (Section 3's two-dimensional matrix C;
+	// the sequential algorithm reads the same storage). Row i is
+	// C[i*J:(i+1)*J].
+	C []Weight
+
+	chunks  []*Chunk // registered chunks by id; nil = free
+	freeIDs []int32
+
+	btT *seqtree.Tree[btAgg, any]
+	lsT *seqtree.Tree[*lsVec, any]
+
+	pcs        []*Copy // principal copy of each vertex (always non-nil)
+	occU, occV []*Copy // tree-edge occurrence anchors, indexed by edge ID
+	tourByRoot map[*lsNode]*Tour
+	normal     []*Tour // tours owning registered chunks (column sweeps)
+
+	vecPool []*lsVec
+	par     *parKernels // lazily built PRAM kernels (nil for sequential)
+
+	lsTouches int // internal LSDS vector recomputations (for charging)
+	btTouches int // BTc nodes touched (for charging)
+	gamma     []Weight
+}
+
+// NewStore builds the structure for graph g (which must be empty: edges are
+// inserted through the engine). ch selects sequential or PRAM accounting.
+func NewStore(g *graph.G, cfg Config, ch Charger) *Store {
+	if g.M() != 0 {
+		panic("core: NewStore requires an empty graph")
+	}
+	n := g.N()
+	parallel := ch.Machine() != nil
+	cfg = cfg.withDefaults(n, parallel)
+	J := cfg.JSlack*n/cfg.K + 8
+	st := &Store{
+		g:          g,
+		n:          n,
+		K:          cfg.K,
+		J:          J,
+		jw:         (J + 63) / 64,
+		ch:         ch,
+		C:          make([]Weight, J*J),
+		chunks:     make([]*Chunk, J),
+		tourByRoot: make(map[*lsNode]*Tour, n),
+		pcs:        make([]*Copy, n),
+	}
+	for i := range st.C {
+		st.C[i] = Inf
+	}
+	for id := J - 1; id >= 0; id-- {
+		st.freeIDs = append(st.freeIDs, int32(id))
+	}
+	st.btT = &seqtree.Tree[btAgg, any]{
+		Update: func(nd *btNode) {
+			st.btTouches++
+			l, r := nd.Left(), nd.Right()
+			nd.Agg = btAgg{
+				copies: l.Agg.copies + r.Agg.copies,
+				edges:  l.Agg.edges + r.Agg.edges,
+			}
+		},
+	}
+	st.lsT = &seqtree.Tree[*lsVec, any]{
+		Update:   st.lsUpdate,
+		OnCreate: func(nd *lsNode) { nd.Agg = st.getVec() },
+		OnFree:   func(nd *lsNode) { st.putVec(nd.Agg); nd.Agg = nil },
+	}
+	// Every vertex starts as an isolated singleton tour (Section 6 short
+	// list): one principal copy in one unregistered chunk.
+	for v := 0; v < n; v++ {
+		cp := &Copy{v: int32(v), principal: true}
+		cp.next, cp.prev = cp, cp
+		cp.ringNext, cp.ringPrev = cp, cp
+		cp.leaf = st.btT.NewLeaf(cp)
+		cp.leaf.Agg = btAgg{copies: 1}
+		c := &Chunk{id: -1, bt: cp.leaf}
+		cp.chunk = c
+		c.leaf = st.lsT.NewLeaf(c)
+		st.pcs[v] = cp
+		t := &Tour{root: c.leaf, regIdx: -1}
+		st.tourByRoot[c.leaf] = t
+	}
+	return st
+}
+
+// Graph returns the underlying graph.
+func (st *Store) Graph() *graph.G { return st.g }
+
+// Stats returns a copy of the structural event counters.
+func (st *Store) Stats() Stats { return st.sts }
+
+// Params returns (K, J).
+func (st *Store) Params() (int, int) { return st.K, st.J }
+
+// row returns registered chunk id's CAdj row.
+func (st *Store) row(id int32) []Weight { return st.C[int(id)*st.J : (int(id)+1)*st.J] }
+
+// lsUpdate recomputes an internal LSDS node's vectors as the entrywise min /
+// OR of its children (Section 2.2). Cost O(J); charged by the caller per
+// Lemma 2.3 / 3.2.
+func (st *Store) lsUpdate(nd *lsNode) {
+	st.lsTouches++
+	v := nd.Agg
+	l, r := nd.Left(), nd.Right()
+	lc, lm := st.childVecs(l)
+	rc, rm := st.childVecs(r)
+	if lc == nil {
+		copyOrClear(v.cadj, rc)
+	} else if rc == nil {
+		copyOrClear(v.cadj, lc)
+	} else {
+		for i := range v.cadj {
+			a, b := lc[i], rc[i]
+			if b < a {
+				a = b
+			}
+			v.cadj[i] = a
+		}
+	}
+	for i := range v.memb {
+		var w uint64
+		if lm != nil {
+			w = lm[i]
+		}
+		if rm != nil {
+			w |= rm[i]
+		}
+		v.memb[i] = w
+	}
+	if lm == nil {
+		if c := leafChunk(l); c != nil {
+			setBit(v.memb, int(c.id))
+		}
+	}
+	if rm == nil {
+		if c := leafChunk(r); c != nil {
+			setBit(v.memb, int(c.id))
+		}
+	}
+}
+
+// childVecs returns a child's contribution: for internal nodes its aggregate
+// vectors; for leaves, the chunk's matrix row and a nil memb (the single id
+// bit is OR'd in by the caller). Unregistered leaves contribute nothing.
+func (st *Store) childVecs(nd *lsNode) ([]Weight, []uint64) {
+	if nd.IsLeaf() {
+		c := lsItem(nd)
+		if c.id < 0 {
+			return nil, nil
+		}
+		return st.row(c.id), nil
+	}
+	return nd.Agg.cadj, nd.Agg.memb
+}
+
+// leafChunk returns the registered chunk of a leaf node, or nil.
+func leafChunk(nd *lsNode) *Chunk {
+	if !nd.IsLeaf() {
+		return nil
+	}
+	if c := lsItem(nd); c.id >= 0 {
+		return c
+	}
+	return nil
+}
+
+func copyOrClear(dst, src []Weight) {
+	if src == nil {
+		for i := range dst {
+			dst[i] = Inf
+		}
+		return
+	}
+	copy(dst, src)
+}
+
+func setBit(w []uint64, i int) { w[i/64] |= 1 << (uint(i) % 64) }
+
+func hasBit(w []uint64, i int) bool { return w[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (st *Store) getVec() *lsVec {
+	if k := len(st.vecPool); k > 0 {
+		v := st.vecPool[k-1]
+		st.vecPool = st.vecPool[:k-1]
+		return v
+	}
+	return &lsVec{cadj: make([]Weight, st.J), memb: make([]uint64, st.jw)}
+}
+
+func (st *Store) putVec(v *lsVec) {
+	if v != nil {
+		st.vecPool = append(st.vecPool, v)
+	}
+}
+
+// allocID registers chunk c in the matrix, with a cleared row and column.
+func (st *Store) allocID(c *Chunk) {
+	k := len(st.freeIDs)
+	if k == 0 {
+		panic(fmt.Sprintf("core: chunk id space exhausted (J=%d); Invariant 1 violated", st.J))
+	}
+	id := st.freeIDs[k-1]
+	st.freeIDs = st.freeIDs[:k-1]
+	c.id = id
+	st.chunks[id] = c
+}
+
+func (st *Store) freeID(c *Chunk) {
+	st.chunks[c.id] = nil
+	st.freeIDs = append(st.freeIDs, c.id)
+	c.id = -1
+}
+
+// tourOf returns the tour containing chunk c.
+func (st *Store) tourOf(c *Chunk) *Tour {
+	root := seqtree.Root(c.leaf)
+	t := st.tourByRoot[root]
+	if t == nil {
+		panic("core: chunk not attached to a tour")
+	}
+	return t
+}
+
+// setRoot points tour t at root, updating the root index.
+func (st *Store) setRoot(t *Tour, root *lsNode) {
+	if t.root != nil && st.tourByRoot[t.root] == t {
+		delete(st.tourByRoot, t.root)
+	}
+	t.root = root
+	if root != nil {
+		st.tourByRoot[root] = t
+	}
+}
+
+// dropTour removes t entirely (after its chunks moved elsewhere).
+func (st *Store) dropTour(t *Tour) {
+	st.setNormal(t, false)
+	if t.root != nil && st.tourByRoot[t.root] == t {
+		delete(st.tourByRoot, t.root)
+	}
+	t.root = nil
+}
+
+// setNormal adds/removes t from the registry of tours owning registered
+// chunks (used by column sweeps).
+func (st *Store) setNormal(t *Tour, normal bool) {
+	if normal == (t.regIdx >= 0) {
+		return
+	}
+	if normal {
+		t.regIdx = len(st.normal)
+		st.normal = append(st.normal, t)
+		return
+	}
+	last := len(st.normal) - 1
+	st.normal[t.regIdx] = st.normal[last]
+	st.normal[t.regIdx].regIdx = t.regIdx
+	st.normal = st.normal[:last]
+	t.regIdx = -1
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"parmsf/internal/graph"
+	"parmsf/internal/seqtree"
+)
+
+// This file implements the surgical list operations of Lemma 2.1: splicing
+// two Euler tours together when a tree edge appears, and splitting one tour
+// in two when a tree edge disappears. Tours are cyclic sequences of vertex
+// copies; the cyclic order is carried by Copy.next/prev, while the chunk
+// partition and LSDS hold the same sequence linearly (read cyclically).
+//
+// Conventions, following the construction in the overview of Section 2:
+// a tree edge e=(u,v) appears in the tour as exactly two adjacent pairs,
+// (x, x.next) with x a copy of u (the u->v traversal, anchored by occU) and
+// (y, y.next) with y a copy of v (v->u, anchored by occV). A vertex has
+// max(1, deg_F(v)) copies; joining trees adds one copy at each endpoint
+// (none at an endpoint that was isolated), cutting removes them again.
+
+// newCopy creates a non-principal copy of v and inserts it into v's ring.
+func (st *Store) newCopy(v int) *Copy {
+	cp := &Copy{v: int32(v)}
+	anchor := st.pcs[v]
+	cp.ringNext = anchor.ringNext
+	cp.ringPrev = anchor
+	anchor.ringNext.ringPrev = cp
+	anchor.ringNext = cp
+	st.ch.Seq(1)
+	return cp
+}
+
+// linkTours splices the tours of e's endpoints into one around new tree
+// edge e, setting its occurrence anchors. The endpoints must currently be
+// in different tours. Returns the chunks whose contents changed (for
+// normalize).
+func (st *Store) linkTours(e *graph.Edge) []*Chunk {
+	st.sts.TourLinks++
+	u, v := int(e.U), int(e.V)
+	cu, cv := st.pcs[u], st.pcs[v]
+	tu := st.tourOf(cu.chunk)
+	tv := st.tourOf(cv.chunk)
+	if tu == tv {
+		panic("core: linkTours within one tour")
+	}
+	uIso := cu.next == cu // isolated vertex: single copy, no pairs
+	vIso := cv.next == cv
+	dirty := []*Chunk{cu.chunk, cv.chunk}
+
+	// --- Rearrange the v-side list (tv) to start at cv. ---
+	var tvRoot *lsNode
+	if vIso {
+		tvRoot = tv.root // single chunk, single copy; nothing to rotate
+	} else {
+		cvChunk := st.ensureBoundaryBefore(cv)
+		dirty = append(dirty, cvChunk)
+		if first := seqtree.First(tv.root); first != cvChunk.leaf {
+			st.lsOp(func() {
+				p, q := st.lsT.SplitBefore(cvChunk.leaf)
+				tvRoot = st.lsT.Join(q, p)
+			})
+			st.setRoot(tv, tvRoot) // keep tv live for column sweeps below
+		} else {
+			tvRoot = tv.root
+		}
+	}
+
+	// --- Insert the new copies. ---
+	var u2, v2 *Copy
+	ap, bq := cu.prev, cv.prev // cyclic predecessors before splicing
+	if !uIso {
+		u2 = st.newCopy(u)
+		// u2 becomes the first copy of the v-side part: immediately before
+		// cv in cv's chunk.
+		u2.chunk = cv.chunk
+		u2.leaf = st.btT.NewLeaf(u2)
+		u2.leaf.Agg = btAgg{copies: 1}
+		st.btOp(func() { cv.chunk.bt = st.btT.InsertBefore(cv.leaf, u2.leaf) })
+		dirty = append(dirty, cv.chunk)
+	}
+	if !vIso {
+		v2 = st.newCopy(v)
+		// v2 becomes the last copy of the v-side part: immediately after
+		// bq (the cyclic predecessor of cv) in bq's chunk.
+		v2.chunk = bq.chunk
+		v2.leaf = st.btT.NewLeaf(v2)
+		v2.leaf.Agg = btAgg{copies: 1}
+		st.btOp(func() { bq.chunk.bt = st.btT.InsertAfter(bq.leaf, v2.leaf) })
+		dirty = append(dirty, bq.chunk)
+	}
+
+	// --- Splice the cyclic copy order: [.. ap, u2, cv, .., bq, v2, cu ..].
+	st.ch.Seq(1)
+	switch {
+	case uIso && vIso:
+		cu.next, cu.prev = cv, cv
+		cv.next, cv.prev = cu, cu
+	case uIso: // no u2: [cu, cv, .., bq, v2] cyclically
+		cu.next = cv
+		cv.prev = cu
+		bq.next = v2
+		v2.prev = bq
+		v2.next = cu
+		cu.prev = v2
+	case vIso: // no v2: [cu, a.., ap, u2, cv]
+		ap.next = u2
+		u2.prev = ap
+		u2.next = cv
+		cv.prev = u2
+		cv.next = cu
+		cu.prev = cv
+	default:
+		ap.next = u2
+		u2.prev = ap
+		u2.next = cv
+		cv.prev = u2
+		bq.next = v2
+		v2.prev = bq
+		v2.next = cu
+		cu.prev = v2
+	}
+
+	// --- Occurrence anchors: the copy preceding each directed pair. ---
+	if u2 != nil {
+		st.occU[e.ID] = u2
+	} else {
+		st.occU[e.ID] = cu
+	}
+	if v2 != nil {
+		st.occV[e.ID] = v2
+	} else {
+		st.occV[e.ID] = cv
+	}
+
+	// --- Splice the linear chunk sequences: X + tv' + Y. ---
+	cuChunk := st.ensureBoundaryBefore(cu)
+	dirty = append(dirty, cuChunk, cu.chunk)
+	tvWasNormal := tv.regIdx >= 0
+	st.dropTour(tv)
+	st.lsOp(func() {
+		x, y := st.lsT.SplitBefore(cuChunk.leaf)
+		st.setRoot(tu, st.lsT.Join(st.lsT.Join(x, tvRoot), y))
+	})
+	if tvWasNormal {
+		st.setNormal(tu, true)
+	}
+	return dirty
+}
+
+// cutTours splits the tour containing tree edge e in two, removing the
+// duplicate copies at the cut points. occA and occB are e's occurrence
+// anchors (captured before the edge left the graph). It returns the two
+// resulting tours — first the one containing e.U, then e.V — and the dirty
+// chunks for normalize.
+func (st *Store) cutTours(e *graph.Edge, occA, occB *Copy) (tU, tV *Tour, dirty []*Chunk) {
+	st.sts.TourCuts++
+	a := occA // copy of u; pair (a, b) is the u->v traversal
+	b := a.next
+	c := occB // copy of v; pair (c, d) is the v->u traversal
+	d := c.next
+	if a.v != e.U || b.v != e.V || c.v != e.V || d.v != e.U {
+		panic("core: occurrence anchors inconsistent with edge")
+	}
+	t := st.tourOf(a.chunk)
+
+	// Chunk boundaries before the segment heads.
+	cb := st.ensureBoundaryBefore(b)
+	cd := st.ensureBoundaryBefore(d)
+	dirty = append(dirty, cb, cd, a.chunk, c.chunk)
+
+	// Split the linear chunk sequence into the two cyclic segments
+	// S_v = [b..c] and S_u = [d..a].
+	var suRoot, svRoot *lsNode
+	if cb == cd {
+		// b and d are distinct copies and both are chunk heads after the
+		// boundary calls, so they cannot share a chunk.
+		panic("core: cut boundaries collapsed")
+	}
+	st.lsOp(func() {
+		if seqtree.Before(cb.leaf, cd.leaf) {
+			p1, _ := st.lsT.SplitBefore(cb.leaf) // middle part re-split below
+			sv, p3 := st.lsT.SplitBefore(cd.leaf)
+			svRoot = sv
+			suRoot = st.lsT.Join(p3, p1)
+		} else {
+			p1, _ := st.lsT.SplitBefore(cd.leaf)
+			su, p3 := st.lsT.SplitBefore(cb.leaf)
+			suRoot = su
+			svRoot = st.lsT.Join(p3, p1)
+		}
+	})
+
+	// Re-close the two cyclic copy orders.
+	st.ch.Seq(1)
+	c.next = b
+	b.prev = c
+	a.next = d
+	d.prev = a
+
+	// Tour handles: t keeps the u-side; the v-side gets a fresh tour. The
+	// v-side registry status must be set eagerly: later column sweeps in
+	// this operation must visit it if it owns registered chunks.
+	st.setRoot(t, suRoot)
+	tV = &Tour{regIdx: -1}
+	st.setRoot(tV, svRoot)
+	st.setNormal(tV, anyRegistered(svRoot))
+	tU = t
+
+	// Remove the duplicate copies at the seams (none at an endpoint that
+	// becomes isolated, i.e. when the segment has a single copy).
+	if b != c {
+		dirty = append(dirty, st.deleteCopy(c)...)
+	}
+	if a != d {
+		dirty = append(dirty, st.deleteCopy(a)...)
+	}
+	st.occU[e.ID] = nil
+	st.occV[e.ID] = nil
+	return tU, tV, dirty
+}
+
+// anyRegistered reports whether the subtree rooted at nd contains a
+// registered chunk (via the maintained Memb aggregate for internal nodes).
+func anyRegistered(nd *lsNode) bool {
+	if nd.IsLeaf() {
+		return lsItem(nd).id >= 0
+	}
+	for _, w := range nd.Agg.memb {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// deleteCopy removes cp from its ring, cyclic order, chunk and (if the
+// chunk empties) LSDS, migrating the principal designation if needed.
+// Returns chunks whose charge sets changed.
+func (st *Store) deleteCopy(cp *Copy) []*Chunk {
+	var dirty []*Chunk
+	st.ch.Seq(1)
+	if cp.ringNext == cp {
+		panic("core: deleting the only copy of a vertex")
+	}
+	if cp.principal {
+		np := cp.ringNext
+		np.principal = true
+		st.pcs[cp.v] = np
+		// Charges move from cp's chunk to np's chunk.
+		deg := int32(st.g.Degree(int(cp.v)))
+		np.leaf.Agg = btAgg{copies: 1, edges: deg}
+		st.btOp(func() { st.btT.RefreshUp(np.leaf) })
+		np.chunk.rowStale = true
+		cp.chunk.rowStale = true
+		dirty = append(dirty, np.chunk, cp.chunk)
+	}
+	cp.ringPrev.ringNext = cp.ringNext
+	cp.ringNext.ringPrev = cp.ringPrev
+	cp.prev.next = cp.next
+	cp.next.prev = cp.prev
+
+	ck := cp.chunk
+	if seqtree.First(ck.bt) == cp.leaf && seqtree.Last(ck.bt) == cp.leaf {
+		// Chunk becomes empty: remove it from its tour entirely.
+		t := st.tourOf(ck)
+		if ck.id >= 0 {
+			st.unregisterChunk(ck)
+		}
+		st.lsOp(func() { st.setRoot(t, st.lsT.DeleteLeaf(ck.leaf)) })
+		ck.bt = nil
+		ck.leaf = nil
+	} else {
+		st.btOp(func() { ck.bt = st.btT.DeleteLeaf(cp.leaf) })
+		dirty = append(dirty, ck)
+	}
+	cp.chunk = nil
+	cp.leaf = nil
+	return dirty
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsSmoke runs every registered experiment at Tiny scale:
+// no panics, and each emits its table header.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	for _, id := range Order {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			Registry[id](&buf, Tiny)
+			out := buf.String()
+			if !strings.Contains(out, "## "+id) {
+				t.Fatalf("output of %s missing its table header:\n%s", id, out)
+			}
+			if !strings.Contains(out, "\n") || len(out) < 50 {
+				t.Fatalf("output of %s suspiciously small:\n%s", id, out)
+			}
+		})
+	}
+}
+
+// TestRegistryComplete: Order and Registry must stay in sync.
+func TestRegistryComplete(t *testing.T) {
+	if len(Order) != len(Registry) {
+		t.Fatalf("Order has %d ids, Registry %d", len(Order), len(Registry))
+	}
+	for _, id := range Order {
+		if Registry[id] == nil {
+			t.Fatalf("experiment %s in Order but not Registry", id)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"testing"
+
+	"parmsf/internal/xrand"
+)
+
+func TestInsertFindDelete(t *testing.T) {
+	g := New(5, 3)
+	e, err := g.Insert(1, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Find(1, 2) != e || g.Find(2, 1) != e {
+		t.Fatal("Find did not locate the edge in both directions")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if _, err := g.Delete(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Find(1, 2) != nil || g.M() != 0 {
+		t.Fatal("edge survived deletion")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g := New(4, 3)
+	if _, err := g.Insert(0, 0, 1); err != ErrSelfLoop {
+		t.Fatalf("self loop: %v", err)
+	}
+	if _, err := g.Insert(0, 9, 1); err != ErrBadVertex {
+		t.Fatalf("bad vertex: %v", err)
+	}
+	if _, err := g.Insert(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Insert(1, 0, 2); err != ErrExists {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if _, err := g.Delete(2, 3); err != ErrMissing {
+		t.Fatalf("missing delete: %v", err)
+	}
+}
+
+func TestDegreeBound(t *testing.T) {
+	g := New(5, 3)
+	mustInsert(t, g, 0, 1)
+	mustInsert(t, g, 0, 2)
+	mustInsert(t, g, 0, 3)
+	if _, err := g.Insert(0, 4, 1); err != ErrDegree {
+		t.Fatalf("degree bound: %v", err)
+	}
+	// Unbounded graph accepts it.
+	gu := New(5, 0)
+	for v := 1; v < 5; v++ {
+		mustInsert(t, gu, 0, v)
+	}
+	if gu.Degree(0) != 4 {
+		t.Fatalf("degree = %d, want 4", gu.Degree(0))
+	}
+}
+
+func mustInsert(t *testing.T, g *G, u, v int) *Edge {
+	t.Helper()
+	e, err := g.Insert(u, v, 1)
+	if err != nil {
+		t.Fatalf("Insert(%d,%d): %v", u, v, err)
+	}
+	return e
+}
+
+func TestIDRecycling(t *testing.T) {
+	g := New(10, 3)
+	e1 := mustInsert(t, g, 0, 1)
+	id1 := e1.ID
+	if _, err := g.Delete(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	e2 := mustInsert(t, g, 2, 3)
+	if e2.ID != id1 {
+		t.Fatalf("ID not recycled: got %d want %d", e2.ID, id1)
+	}
+	if g.IDBound() != 1 {
+		t.Fatalf("IDBound = %d, want 1", g.IDBound())
+	}
+	if g.ByID(id1) != e2 {
+		t.Fatal("ByID mismatch after recycle")
+	}
+}
+
+func TestIncidentAndOther(t *testing.T) {
+	g := New(4, 3)
+	e1 := mustInsert(t, g, 0, 1)
+	e2 := mustInsert(t, g, 0, 2)
+	seen := map[*Edge]bool{}
+	g.Incident(0, func(e *Edge) bool { seen[e] = true; return true })
+	if !seen[e1] || !seen[e2] || len(seen) != 2 {
+		t.Fatalf("Incident(0) saw %d edges, want {e1,e2}", len(seen))
+	}
+	if e1.Other(0) != 1 || e1.Other(1) != 0 {
+		t.Fatal("Other is wrong")
+	}
+}
+
+func TestRandomConsistency(t *testing.T) {
+	const n = 40
+	g := New(n, 3)
+	rng := xrand.New(17)
+	type pair struct{ u, v int }
+	live := map[pair]bool{}
+	norm := func(u, v int) pair {
+		if u > v {
+			u, v = v, u
+		}
+		return pair{u, v}
+	}
+	for step := 0; step < 5000; step++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		p := norm(u, v)
+		if rng.Bool() {
+			_, err := g.Insert(u, v, int64(step))
+			switch {
+			case live[p] && err != ErrExists:
+				t.Fatalf("insert of live edge: %v", err)
+			case !live[p] && err == nil:
+				live[p] = true
+			case !live[p] && err != ErrDegree && err != nil:
+				t.Fatalf("unexpected insert error: %v", err)
+			}
+		} else {
+			_, err := g.Delete(u, v)
+			if live[p] != (err == nil) {
+				t.Fatalf("delete mismatch: live=%v err=%v", live[p], err)
+			}
+			delete(live, p)
+		}
+		if g.M() != len(live) {
+			t.Fatalf("M = %d, want %d", g.M(), len(live))
+		}
+	}
+	// Degrees must respect the bound throughout; final check per vertex.
+	for v := 0; v < n; v++ {
+		if g.Degree(v) > 3 {
+			t.Fatalf("degree(%d) = %d > 3", v, g.Degree(v))
+		}
+	}
+	count := 0
+	g.Edges(func(e *Edge) bool { count++; return true })
+	if count != len(live) {
+		t.Fatalf("Edges iterated %d, want %d", count, len(live))
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	g := New(1024, 3)
+	rng := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := rng.Intn(1024), rng.Intn(1024)
+		if u == v {
+			continue
+		}
+		if g.Find(u, v) != nil {
+			g.Delete(u, v)
+		} else {
+			g.Insert(u, v, int64(i))
+		}
+	}
+}

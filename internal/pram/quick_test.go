@@ -1,0 +1,62 @@
+package pram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickAccounting: for arbitrary round/width sequences, Time is the
+// round count, Work the width sum, MaxActive the width max.
+func TestQuickAccounting(t *testing.T) {
+	run := func(widths []uint16) bool {
+		m := New(false)
+		var wantTime, wantWork int64
+		wantMax := 0
+		for _, w := range widths {
+			width := int(w)%512 + 1
+			m.Step(width, func(int) {})
+			wantTime++
+			wantWork += int64(width)
+			if width > wantMax {
+				wantMax = width
+			}
+		}
+		return m.Time == wantTime && m.Work == wantWork && m.MaxActive == wantMax
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickExclusivity: distinct cells per processor never violate; any
+// same-round collision between two processors always does.
+func TestQuickExclusivity(t *testing.T) {
+	run := func(cells []uint8, width uint8) bool {
+		n := int(width)%32 + 2
+		m := New(true)
+		s := m.NewSpace("A", 256)
+		// Round 1: each processor touches its own cell — clean.
+		m.Step(n, func(p int) { s.Touch(p, p) })
+		if len(m.Violations()) != 0 {
+			return false
+		}
+		// Round 2: map processors to arbitrary cells; count collisions.
+		if len(cells) < n {
+			return true
+		}
+		collide := false
+		seen := map[int]int{}
+		for p := 0; p < n; p++ {
+			c := int(cells[p])
+			if q, ok := seen[c]; ok && q != p {
+				collide = true
+			}
+			seen[c] = p
+		}
+		m.Step(n, func(p int) { s.Touch(p, int(cells[p])) })
+		return (len(m.Violations()) > 0) == collide
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package seqtree
+
+// Before reports whether leaf x precedes leaf y in their (shared) sequence.
+// It panics if the leaves are in different trees. Cost O(log n): both root
+// paths are climbed to their lowest common ancestor.
+func Before[A, I any](x, y *Node[A, I]) bool {
+	if x == y {
+		return false
+	}
+	dx, dy := depth(x), depth(y)
+	cx, cy := x, y
+	// Lift the deeper node, remembering which child it came through.
+	var fromX, fromY *Node[A, I]
+	for dx > dy {
+		fromX, cx = cx, cx.parent
+		dx--
+	}
+	for dy > dx {
+		fromY, cy = cy, cy.parent
+		dy--
+	}
+	for cx != cy {
+		fromX, cx = cx, cx.parent
+		fromY, cy = cy, cy.parent
+		if cx == nil || cy == nil {
+			panic("seqtree: Before on leaves of different trees")
+		}
+	}
+	// cx == cy is the LCA; the one that arrived via the left child is
+	// earlier.
+	return cx.left == fromX && cx.right == fromY
+}
+
+func depth[A, I any](n *Node[A, I]) int {
+	d := 0
+	for n.parent != nil {
+		n = n.parent
+		d++
+	}
+	return d
+}

@@ -1,0 +1,145 @@
+package seqtree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parmsf/internal/xrand"
+)
+
+// opScript is a quick-generated random operation sequence; interpretOps
+// replays it against both the tree and a slice model. Using testing/quick
+// here lets the framework explore operation encodings we did not pick by
+// hand.
+type opScript struct {
+	Seed uint64
+	Ops  []uint16 // each op: low 2 bits = kind, rest = position material
+}
+
+// interpret replays the script; returns false (failing the property) on any
+// divergence from the model.
+func (s opScript) interpret() bool {
+	tr := sumTree()
+	var root *Node[int, int]
+	var model []int
+	next := 1
+	rng := xrand.New(s.Seed)
+	for _, op := range s.Ops {
+		kind := op & 3
+		pos := int(op >> 2)
+		switch kind {
+		case 0, 1: // insert at position
+			leaf := tr.NewLeaf(next)
+			if root == nil {
+				root = leaf
+				model = []int{next}
+			} else {
+				p := pos % (len(model) + 1)
+				if p == len(model) {
+					root = tr.InsertAfter(Last(root), leaf)
+					model = append(model, next)
+				} else {
+					root = tr.InsertBefore(leafAt(root, p), leaf)
+					model = append(model[:p], append([]int{next}, model[p:]...)...)
+				}
+			}
+			next++
+		case 2: // delete at position
+			if len(model) == 0 {
+				continue
+			}
+			p := pos % len(model)
+			root = tr.DeleteLeaf(leafAt(root, p))
+			model = append(model[:p], model[p+1:]...)
+		case 3: // split and rejoin (possibly rotated)
+			if len(model) < 2 {
+				continue
+			}
+			p := 1 + pos%(len(model)-1)
+			l, r := tr.SplitBefore(leafAt(root, p))
+			if rng.Bool() {
+				root = tr.Join(l, r)
+			} else {
+				root = tr.Join(r, l)
+				model = append(append([]int{}, model[p:]...), model[:p]...)
+			}
+		}
+	}
+	if Validate(root) != nil {
+		return false
+	}
+	got := collect(root)
+	if len(got) != len(model) {
+		return false
+	}
+	for i := range got {
+		if got[i] != model[i] {
+			return false
+		}
+	}
+	// Aggregate check.
+	if root != nil && !root.IsLeaf() {
+		want := 0
+		for _, v := range model {
+			want += v
+		}
+		if root.Agg != want {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickOpScripts(t *testing.T) {
+	if err := quick.Check(func(s opScript) bool {
+		if len(s.Ops) > 300 {
+			s.Ops = s.Ops[:300]
+		}
+		return s.interpret()
+	}, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBeforeConsistency: Before must agree with in-order positions for
+// arbitrary leaf pairs of a random tree.
+func TestQuickBeforeConsistency(t *testing.T) {
+	if err := quick.Check(func(seed uint64, size uint8, a, b uint16) bool {
+		n := int(size)%60 + 2
+		tr := sumTree()
+		root := buildSeq(tr, seqInts(0, n))
+		i, j := int(a)%n, int(b)%n
+		if i == j {
+			return true
+		}
+		x, y := leafAt(root, i), leafAt(root, j)
+		return Before(x, y) == (i < j)
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSplitJoinInverse: splitting anywhere and rejoining is the
+// identity, for arbitrary sizes and positions.
+func TestQuickSplitJoinInverse(t *testing.T) {
+	if err := quick.Check(func(size uint8, posRaw uint16) bool {
+		n := int(size)%100 + 2
+		pos := 1 + int(posRaw)%(n-1)
+		tr := sumTree()
+		root := buildSeq(tr, seqInts(0, n))
+		l, r := tr.SplitBefore(leafAt(root, pos))
+		root = tr.Join(l, r)
+		if Validate(root) != nil {
+			return false
+		}
+		got := collect(root)
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return len(got) == n
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

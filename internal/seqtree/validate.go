@@ -1,0 +1,56 @@
+package seqtree
+
+import "fmt"
+
+// Validate checks structural invariants of the tree rooted at n: parent
+// pointers, AVL balance, recorded heights, and that internal nodes have
+// exactly two children. It returns the first violation found, or nil. It is
+// intended for tests and debug assertions.
+func Validate[A, I any](n *Node[A, I]) error {
+	if n == nil {
+		return nil
+	}
+	if n.parent != nil {
+		return fmt.Errorf("seqtree: root has non-nil parent")
+	}
+	_, err := validate(n)
+	return err
+}
+
+func validate[A, I any](n *Node[A, I]) (int16, error) {
+	if n.leaf {
+		if n.left != nil || n.right != nil {
+			return 0, fmt.Errorf("seqtree: leaf with children")
+		}
+		if n.h != 0 {
+			return 0, fmt.Errorf("seqtree: leaf with height %d", n.h)
+		}
+		return 0, nil
+	}
+	if n.left == nil || n.right == nil {
+		return 0, fmt.Errorf("seqtree: internal node missing a child")
+	}
+	if n.left.parent != n || n.right.parent != n {
+		return 0, fmt.Errorf("seqtree: child with wrong parent pointer")
+	}
+	lh, err := validate(n.left)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := validate(n.right)
+	if err != nil {
+		return 0, err
+	}
+	h := lh
+	if rh > h {
+		h = rh
+	}
+	h++
+	if n.h != h {
+		return 0, fmt.Errorf("seqtree: recorded height %d, actual %d", n.h, h)
+	}
+	if d := lh - rh; d < -1 || d > 1 {
+		return 0, fmt.Errorf("seqtree: unbalanced node (left %d, right %d)", lh, rh)
+	}
+	return h, nil
+}

@@ -1,0 +1,65 @@
+package sparsify
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parmsf/internal/baseline"
+	"parmsf/internal/xrand"
+)
+
+// TestQuickSparsifyScripts: arbitrary scripts through the sparsification
+// tree (kruskal nodes, so events come from diffing) must match a flat
+// Kruskal, and the local-graph invariant must audit clean at the end.
+func TestQuickSparsifyScripts(t *testing.T) {
+	type script struct {
+		Seed uint64
+		N    uint8
+		Ops  []uint32
+	}
+	run := func(s script) bool {
+		n := int(s.N)%14 + 4
+		if len(s.Ops) > 120 {
+			s.Ops = s.Ops[:120]
+		}
+		f := New(n, kruskalFactory)
+		ref := baseline.NewKruskal(n)
+		rng := xrand.New(s.Seed)
+		type pair struct{ u, v int }
+		var live []pair
+		w := int64(1)
+		for _, op := range s.Ops {
+			u := int(op>>1) % n
+			v := int(op>>9) % n
+			if op&1 == 0 || len(live) == 0 {
+				if u == v {
+					continue
+				}
+				e1 := f.InsertEdge(u, v, w)
+				e2 := ref.InsertEdge(u, v, w)
+				if (e1 == nil) != (e2 == nil) {
+					return false
+				}
+				if e1 == nil {
+					live = append(live, pair{u, v})
+				}
+				w++
+			} else {
+				i := rng.Intn(len(live))
+				p := live[i]
+				if f.DeleteEdge(p.u, p.v) != nil || ref.DeleteEdge(p.u, p.v) != nil {
+					return false
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			if f.Weight() != ref.Weight() || f.ForestSize() != ref.ForestSize() {
+				return false
+			}
+		}
+		return f.CheckInvariant() == nil
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,335 @@
+// Package ternary implements Frederickson's degree-reduction transformation
+// (assumed in Section 1.1 of the paper): it wraps a dynamic MSF engine that
+// requires maximum degree 3 and presents an unbounded-degree interface.
+//
+// Each original vertex v is represented by a path of "slot" gadget vertices,
+// one slot per incident edge (a lone base slot when isolated). Consecutive
+// slots are joined by ring edges of weight lighter than every real edge, so
+// all ring edges always belong to the gadget MSF and the remaining MSF edges
+// are exactly the MSF of the original graph. Each slot hosts at most one
+// real edge, so gadget degrees never exceed 3 (ring prev + ring next + one
+// real edge). Insertions append a slot; deletions move the last slot's
+// hosted edge into the freed slot, keeping paths compact — O(1) engine
+// operations per update.
+package ternary
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RingWeight is the weight of gadget ring edges. It must compare below
+// every real edge weight; callers must keep real weights above it.
+const RingWeight = int64(-1) << 60
+
+// Engine is the degree-3 dynamic MSF interface being wrapped (satisfied by
+// core.MSF and the baselines).
+type Engine interface {
+	InsertEdge(u, v int, w int64) error
+	DeleteEdge(u, v int) error
+	Connected(u, v int) bool
+	Weight() int64
+	ForestSize() int
+	ForestEdges(f func(u, v int, w int64) bool)
+	SetEvents(f func(u, v int, w int64, added bool))
+}
+
+// Common errors.
+var (
+	ErrExists   = errors.New("ternary: edge already present")
+	ErrMissing  = errors.New("ternary: edge not present")
+	ErrCapacity = errors.New("ternary: gadget capacity exhausted")
+	ErrWeight   = errors.New("ternary: weight below RingWeight bound")
+	ErrVertex   = errors.New("ternary: vertex out of range")
+	ErrSelfLoop = errors.New("ternary: self loop")
+)
+
+type edgeRec struct {
+	u, v   int // original endpoints, u < v
+	w      int64
+	su, sv int32 // hosting gadget slots
+}
+
+// Wrapper is the unbounded-degree dynamic MSF.
+type Wrapper struct {
+	n      int
+	eng    Engine
+	slots  [][]int32    // per original vertex: slot gadget ids; [0] is base
+	hosted [][]*edgeRec // parallel to slots: edge hosted at each slot
+	edges  map[[2]int]*edgeRec
+	free   []int32
+	rings  int
+	byslot map[int32]int // gadget slot -> original vertex
+
+	events func(u, v int, w int64, added bool)
+}
+
+// New wraps a fresh degree-3 engine for n vertices and at most maxEdges
+// concurrent edges. mk receives the gadget vertex count.
+func New(n, maxEdges int, mk func(gadgetN int) Engine) *Wrapper {
+	cap := n + 2*maxEdges
+	w := &Wrapper{
+		n:      n,
+		eng:    mk(cap),
+		slots:  make([][]int32, n),
+		hosted: make([][]*edgeRec, n),
+		edges:  make(map[[2]int]*edgeRec),
+		byslot: make(map[int32]int),
+	}
+	// Base slots are the original ids; extra slots come from the pool.
+	for v := 0; v < n; v++ {
+		w.slots[v] = []int32{int32(v)}
+		w.hosted[v] = []*edgeRec{nil}
+		w.byslot[int32(v)] = v
+	}
+	for id := cap - 1; id >= n; id-- {
+		w.free = append(w.free, int32(id))
+	}
+	w.eng.SetEvents(w.forward)
+	return w
+}
+
+// N returns the number of original vertices.
+func (w *Wrapper) N() int { return w.n }
+
+// Gadget exposes the wrapped engine (tests).
+func (w *Wrapper) Gadget() Engine { return w.eng }
+
+// SetEvents installs a forest-change callback in original-vertex space.
+func (w *Wrapper) SetEvents(f func(u, v int, w int64, added bool)) { w.events = f }
+
+// forward translates engine events to original-vertex space, dropping ring
+// edges.
+func (w *Wrapper) forward(gu, gv int, wt int64, added bool) {
+	if w.events == nil || wt == RingWeight {
+		return
+	}
+	w.events(w.byslot[int32(gu)], w.byslot[int32(gv)], wt, added)
+}
+
+func key(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// InsertEdge adds edge (u, v) of weight wt (must be > RingWeight).
+func (w *Wrapper) InsertEdge(u, v int, wt int64) error {
+	if u < 0 || u >= w.n || v < 0 || v >= w.n {
+		return ErrVertex
+	}
+	if u == v {
+		return ErrSelfLoop
+	}
+	if wt <= RingWeight {
+		return ErrWeight
+	}
+	k := key(u, v)
+	if _, dup := w.edges[k]; dup {
+		return ErrExists
+	}
+	if len(w.free) < 2 {
+		return ErrCapacity
+	}
+	su, newU, err := w.openSlot(u)
+	if err != nil {
+		return err
+	}
+	sv, _, err := w.openSlot(v)
+	if err != nil {
+		if newU {
+			w.closeSlot(u, len(w.slots[u])-1) // roll back u's new slot
+		}
+		return err
+	}
+	rec := &edgeRec{u: k[0], v: k[1], w: wt, su: su, sv: sv}
+	if k[0] == v {
+		rec.su, rec.sv = sv, su
+	}
+	if err := w.eng.InsertEdge(int(su), int(sv), wt); err != nil {
+		panic(fmt.Sprintf("ternary: gadget insert failed: %v", err))
+	}
+	w.hostAt(u, su, rec)
+	w.hostAt(v, sv, rec)
+	w.edges[k] = rec
+	return nil
+}
+
+// openSlot returns a slot of x able to host a new edge, appending a slot
+// (and ring edge) when all are busy. The boolean reports whether a new slot
+// was created.
+func (w *Wrapper) openSlot(x int) (int32, bool, error) {
+	s, h := w.slots[x], w.hosted[x]
+	if h[0] == nil && len(s) == 1 {
+		return s[0], false, nil // isolated vertex: base slot is free
+	}
+	if len(w.free) == 0 {
+		return 0, false, ErrCapacity
+	}
+	g := w.free[len(w.free)-1]
+	w.free = w.free[:len(w.free)-1]
+	last := s[len(s)-1]
+	if err := w.eng.InsertEdge(int(last), int(g), RingWeight); err != nil {
+		w.free = append(w.free, g)
+		panic(fmt.Sprintf("ternary: ring insert failed: %v", err))
+	}
+	w.rings++
+	w.slots[x] = append(s, g)
+	w.hosted[x] = append(h, nil)
+	w.byslot[g] = x
+	return g, true, nil
+}
+
+// closeSlot removes slot index i of x, which must be the last and unhosted.
+func (w *Wrapper) closeSlot(x, i int) {
+	s := w.slots[x]
+	if i != len(s)-1 || w.hosted[x][i] != nil {
+		panic("ternary: closeSlot misuse")
+	}
+	if i == 0 {
+		return // base slot is permanent
+	}
+	g := s[i]
+	if err := w.eng.DeleteEdge(int(s[i-1]), int(g)); err != nil {
+		panic(fmt.Sprintf("ternary: ring delete failed: %v", err))
+	}
+	w.rings--
+	w.slots[x] = s[:i]
+	w.hosted[x] = w.hosted[x][:i]
+	delete(w.byslot, g)
+	w.free = append(w.free, g)
+}
+
+func (w *Wrapper) hostAt(x int, slot int32, rec *edgeRec) {
+	for i, g := range w.slots[x] {
+		if g == slot {
+			w.hosted[x][i] = rec
+			return
+		}
+	}
+	panic("ternary: hostAt: slot not found")
+}
+
+// DeleteEdge removes edge (u, v).
+func (w *Wrapper) DeleteEdge(u, v int) error {
+	k := key(u, v)
+	rec, ok := w.edges[k]
+	if !ok {
+		return ErrMissing
+	}
+	if err := w.eng.DeleteEdge(int(rec.su), int(rec.sv)); err != nil {
+		panic(fmt.Sprintf("ternary: gadget delete failed: %v", err))
+	}
+	delete(w.edges, k)
+	w.compact(rec.u, rec.su)
+	w.compact(rec.v, rec.sv)
+	return nil
+}
+
+// compact frees the slot of x that hosted a just-deleted edge, moving the
+// last slot's hosted edge into it when the freed slot is interior.
+func (w *Wrapper) compact(x int, slot int32) {
+	s, h := w.slots[x], w.hosted[x]
+	idx := -1
+	for i, g := range s {
+		if g == slot {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic("ternary: compact: slot not found")
+	}
+	h[idx] = nil
+	last := len(s) - 1
+	if idx != last && h[last] != nil {
+		// Move the edge hosted at the last slot into the freed slot.
+		mv := h[last]
+		other := mv.sv
+		if mv.su != s[last] {
+			if mv.sv != s[last] {
+				panic("ternary: hosted record inconsistent")
+			}
+			other = mv.su
+		}
+		if err := w.eng.DeleteEdge(int(s[last]), int(other)); err != nil {
+			panic(fmt.Sprintf("ternary: move delete failed: %v", err))
+		}
+		if err := w.eng.InsertEdge(int(s[idx]), int(other), mv.w); err != nil {
+			panic(fmt.Sprintf("ternary: move insert failed: %v", err))
+		}
+		if mv.su == s[last] {
+			mv.su = s[idx]
+		} else {
+			mv.sv = s[idx]
+		}
+		h[idx] = mv
+		h[last] = nil
+	}
+	// The last slot is now unhosted; retire it (base stays).
+	if last > 0 && h[last] == nil {
+		w.closeSlot(x, last)
+	}
+}
+
+// Connected reports whether u and v are connected in the original graph.
+func (w *Wrapper) Connected(u, v int) bool {
+	return w.eng.Connected(u, v) // base slots carry the original ids
+}
+
+// Weight returns the MSF weight of the original graph.
+func (w *Wrapper) Weight() int64 {
+	return w.eng.Weight() - int64(w.rings)*RingWeight
+}
+
+// ForestSize returns the number of original MSF edges.
+func (w *Wrapper) ForestSize() int { return w.eng.ForestSize() - w.rings }
+
+// ForestEdges calls f for every original MSF edge.
+func (w *Wrapper) ForestEdges(f func(u, v int, wt int64) bool) {
+	w.eng.ForestEdges(func(gu, gv int, wt int64) bool {
+		if wt == RingWeight {
+			return true
+		}
+		return f(w.byslot[int32(gu)], w.byslot[int32(gv)], wt)
+	})
+}
+
+// M returns the number of live original edges.
+func (w *Wrapper) M() int { return len(w.edges) }
+
+// CheckGadget verifies wrapper bookkeeping (tests): slot paths are compact
+// and every edge's hosting is mutual.
+func (w *Wrapper) CheckGadget() error {
+	for v := 0; v < w.n; v++ {
+		s, h := w.slots[v], w.hosted[v]
+		if len(s) != len(h) {
+			return fmt.Errorf("vertex %d: slots/hosted length mismatch", v)
+		}
+		deg := 0
+		for i := range s {
+			if w.byslot[s[i]] != v {
+				return fmt.Errorf("vertex %d: byslot mismatch", v)
+			}
+			if h[i] != nil {
+				deg++
+			} else if i != 0 {
+				return fmt.Errorf("vertex %d: interior hole at slot %d", v, i)
+			}
+		}
+		want := 0
+		for _, rec := range w.edges {
+			if rec.u == v || rec.v == v {
+				want++
+			}
+		}
+		if deg != want {
+			return fmt.Errorf("vertex %d: hosts %d edges, want %d", v, deg, want)
+		}
+		if want > 1 && len(s) != want {
+			return fmt.Errorf("vertex %d: %d slots for %d edges", v, len(s), want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package ternary
+
+import (
+	"testing"
+
+	"parmsf/internal/baseline"
+	"parmsf/internal/core"
+	"parmsf/internal/xrand"
+)
+
+func newKruskalWrapper(n, maxE int) *Wrapper {
+	return New(n, maxE, func(gn int) Engine { return baseline.NewKruskal(gn) })
+}
+
+func newCoreWrapper(n, maxE int) *Wrapper {
+	return New(n, maxE, func(gn int) Engine {
+		return core.NewMSF(gn, core.Config{}, core.SeqCharger{})
+	})
+}
+
+func TestHighDegreeStar(t *testing.T) {
+	// A degree-20 star is impossible for the raw degree-3 engine; the
+	// wrapper must handle it.
+	w := newCoreWrapper(21, 64)
+	for i := 1; i <= 20; i++ {
+		if err := w.InsertEdge(0, i, int64(i)); err != nil {
+			t.Fatalf("insert spoke %d: %v", i, err)
+		}
+	}
+	if err := w.CheckGadget(); err != nil {
+		t.Fatal(err)
+	}
+	if w.ForestSize() != 20 {
+		t.Fatalf("forest size = %d, want 20", w.ForestSize())
+	}
+	want := int64(20 * 21 / 2)
+	if w.Weight() != want {
+		t.Fatalf("weight = %d, want %d", w.Weight(), want)
+	}
+	for i := 1; i <= 20; i++ {
+		if !w.Connected(0, i) {
+			t.Fatalf("spoke %d disconnected", i)
+		}
+	}
+	// Delete the middle spokes; compaction must keep the path consistent.
+	for i := 5; i <= 15; i++ {
+		if err := w.DeleteEdge(0, i); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.CheckGadget(); err != nil {
+			t.Fatalf("after deleting spoke %d: %v", i, err)
+		}
+	}
+	if w.ForestSize() != 9 {
+		t.Fatalf("forest size = %d, want 9", w.ForestSize())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	w := newKruskalWrapper(4, 8)
+	if err := w.InsertEdge(0, 0, 1); err != ErrSelfLoop {
+		t.Fatalf("self loop: %v", err)
+	}
+	if err := w.InsertEdge(0, 9, 1); err != ErrVertex {
+		t.Fatalf("bad vertex: %v", err)
+	}
+	if err := w.InsertEdge(0, 1, RingWeight); err != ErrWeight {
+		t.Fatalf("ring weight: %v", err)
+	}
+	if err := w.InsertEdge(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.InsertEdge(1, 0, 7); err != ErrExists {
+		t.Fatalf("dup: %v", err)
+	}
+	if err := w.DeleteEdge(2, 3); err != ErrMissing {
+		t.Fatalf("missing: %v", err)
+	}
+}
+
+func TestCapacityExhaustion(t *testing.T) {
+	w := newKruskalWrapper(10, 3)
+	inserted := 0
+	for i := 0; i < 9; i++ {
+		if err := w.InsertEdge(i, i+1, int64(i+1)); err == nil {
+			inserted++
+		} else if err != ErrCapacity {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if inserted == 9 {
+		t.Fatal("capacity bound never hit")
+	}
+	if err := w.CheckGadget(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAgainstReference drives the wrapper (around the real core engine) and
+// a plain Kruskal on the ORIGINAL graph in lockstep.
+func TestAgainstReference(t *testing.T) {
+	const n = 24
+	w := newCoreWrapper(n, 4*n)
+	ref := baseline.NewKruskal(n)
+	rng := xrand.New(777)
+	type pair struct{ u, v int }
+	var live []pair
+	nextW := int64(1)
+	for step := 0; step < 1500; step++ {
+		if rng.Intn(5) < 3 || len(live) == 0 {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			e1 := w.InsertEdge(u, v, nextW)
+			if e1 == ErrCapacity {
+				continue
+			}
+			e2 := ref.InsertEdge(u, v, nextW)
+			if (e1 == nil) != (e2 == nil) {
+				t.Fatalf("step %d: %v vs %v", step, e1, e2)
+			}
+			if e1 == nil {
+				live = append(live, pair{u, v})
+			}
+			nextW += int64(1 + rng.Intn(4))
+		} else {
+			i := rng.Intn(len(live))
+			p := live[i]
+			if err := w.DeleteEdge(p.u, p.v); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if err := ref.DeleteEdge(p.u, p.v); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if w.Weight() != ref.Weight() || w.ForestSize() != ref.ForestSize() {
+			t.Fatalf("step %d: wrapper (w=%d,n=%d) vs kruskal (w=%d,n=%d)",
+				step, w.Weight(), w.ForestSize(), ref.Weight(), ref.ForestSize())
+		}
+		if step%37 == 0 {
+			if err := w.CheckGadget(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			u, v := rng.Intn(n), rng.Intn(n)
+			if w.Connected(u, v) != ref.Connected(u, v) {
+				t.Fatalf("step %d: connectivity disagreement", step)
+			}
+		}
+	}
+}
+
+// TestEventsTranslation checks that forwarded events are in original-vertex
+// space and never mention ring edges.
+func TestEventsTranslation(t *testing.T) {
+	w := newKruskalWrapper(6, 24)
+	var adds, dels int
+	w.SetEvents(func(u, v int, wt int64, added bool) {
+		if u < 0 || u >= 6 || v < 0 || v >= 6 {
+			t.Fatalf("event outside original space: (%d,%d)", u, v)
+		}
+		if wt == RingWeight {
+			t.Fatal("ring edge leaked through events")
+		}
+		if added {
+			adds++
+		} else {
+			dels++
+		}
+	})
+	w.InsertEdge(0, 1, 5)
+	w.InsertEdge(0, 2, 6)
+	w.InsertEdge(0, 3, 7)
+	w.DeleteEdge(0, 2)
+	if adds == 0 || dels == 0 {
+		t.Fatalf("events not seen: adds=%d dels=%d", adds, dels)
+	}
+}
+
+func TestForestEdgesOriginalSpace(t *testing.T) {
+	w := newCoreWrapper(5, 16)
+	w.InsertEdge(0, 1, 1)
+	w.InsertEdge(0, 2, 2)
+	w.InsertEdge(0, 3, 3)
+	w.InsertEdge(0, 4, 4)
+	count := 0
+	w.ForestEdges(func(u, v int, wt int64) bool {
+		if u != 0 && v != 0 {
+			t.Fatalf("unexpected forest edge (%d,%d)", u, v)
+		}
+		count++
+		return true
+	})
+	if count != 4 {
+		t.Fatalf("forest edges = %d, want 4", count)
+	}
+}

@@ -1,0 +1,86 @@
+package tourney
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parmsf/internal/pram"
+)
+
+// TestQuickMinReduce: MinReduce must agree with a linear scan on arbitrary
+// inputs, with correct EREW-free accounting.
+func TestQuickMinReduce(t *testing.T) {
+	run := func(vals []int64) bool {
+		m := pram.New(false)
+		idx, got := MinReduce(m, vals, math.MaxInt64)
+		want := int64(math.MaxInt64)
+		wantIdx := -1
+		for i, v := range vals {
+			if v == math.MaxInt64 {
+				continue
+			}
+			if v < want {
+				want, wantIdx = v, i
+			}
+		}
+		if got != want {
+			return false
+		}
+		if wantIdx == -1 {
+			return idx == -1
+		}
+		// The returned index must point at a minimal element.
+		return idx >= 0 && idx < len(vals) && vals[idx] == want
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickForest: the multi-tree tournament must produce per-tree minima
+// equal to a map-based scan, for arbitrary entry sets, with zero EREW
+// violations.
+func TestQuickForest(t *testing.T) {
+	run := func(raw []uint32, treesRaw uint8) bool {
+		trees := int(treesRaw)%7 + 1
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		m := pram.New(true)
+		f := NewForest(m, trees, 64)
+		entries := make([]Entry, len(raw))
+		want := map[int32]int64{}
+		for k, r := range raw {
+			if r%5 == 0 {
+				entries[k] = Entry{Tree: -1}
+				continue
+			}
+			tr := int32(int(r>>3) % trees)
+			v := int64(r >> 8)
+			entries[k] = Entry{Tree: tr, Val: v, Payload: int32(k)}
+			if cur, ok := want[tr]; !ok || v < cur {
+				want[tr] = v
+			}
+		}
+		got := map[int32]int64{}
+		f.Run(entries, func(tree int32, val int64, _ int32) {
+			if _, dup := got[tree]; dup {
+				return // duplicate winner would be a failure below
+			}
+			got[tree] = val
+		})
+		if len(m.Violations()) != 0 || len(got) != len(want) {
+			return false
+		}
+		for tr, w := range want {
+			if got[tr] != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,291 @@
+// Package workload generates the graphs and update streams used by the
+// experiments in EXPERIMENTS.md: sparse random graphs (the paper's m = O(n)
+// regime), degree-3-respecting generators for driving the core engine
+// directly, denser graphs for the sparsification experiments, and churn /
+// teardown update streams. All generators are deterministic in their seed.
+package workload
+
+import "parmsf/internal/xrand"
+
+// Edge is a weighted undirected edge.
+type Edge struct {
+	U, V int
+	W    int64
+}
+
+// OpKind discriminates stream operations.
+type OpKind uint8
+
+// Stream operation kinds.
+const (
+	OpInsert OpKind = iota
+	OpDelete
+)
+
+// Op is one update in a stream.
+type Op struct {
+	Kind OpKind
+	U, V int
+	W    int64
+}
+
+// Stream is an update sequence over vertices [0, N).
+type Stream struct {
+	N   int
+	Ops []Op
+}
+
+// RandomSparse returns ~m distinct random edges over n vertices with unique
+// weights (uniform random pairs, duplicates skipped).
+func RandomSparse(n, m int, seed uint64) []Edge {
+	rng := xrand.New(seed)
+	seen := make(map[[2]int]bool, m)
+	perm := rng.Perm(4 * m)
+	var out []Edge
+	for len(out) < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		out = append(out, Edge{u, v, int64(perm[len(out)]) + 1})
+	}
+	return out
+}
+
+// DegreeBounded returns ~m random edges with every vertex degree at most
+// maxDeg (for driving the degree-3 core engine directly). It may return
+// fewer than m edges when the degree budget binds.
+func DegreeBounded(n, m, maxDeg int, seed uint64) []Edge {
+	rng := xrand.New(seed)
+	deg := make([]int, n)
+	seen := make(map[[2]int]bool, m)
+	var out []Edge
+	perm := rng.Perm(4*m + 4)
+	attempts := 0
+	for len(out) < m && attempts < 50*m {
+		attempts++
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || deg[u] >= maxDeg || deg[v] >= maxDeg {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		deg[u]++
+		deg[v]++
+		out = append(out, Edge{u, v, int64(perm[len(out)]) + 1})
+	}
+	return out
+}
+
+// Ladder returns the 2xL ladder graph (degree <= 3), a structured
+// degree-bounded workload: rungs plus two rails. Vertex i pairs with i+L.
+func Ladder(l int, seed uint64) []Edge {
+	rng := xrand.New(seed)
+	perm := rng.Perm(3 * l)
+	var out []Edge
+	k := 0
+	add := func(u, v int) {
+		out = append(out, Edge{u, v, int64(perm[k]) + 1})
+		k++
+	}
+	for i := 0; i < l; i++ {
+		add(i, i+l) // rung
+		if i+1 < l {
+			add(i, i+1)     // top rail
+			add(i+l, i+l+1) // bottom rail
+		}
+	}
+	return out
+}
+
+// Grid returns the rows x cols grid graph (degree <= 4; use with the
+// degree-reduction wrapper).
+func Grid(rows, cols int, seed uint64) []Edge {
+	rng := xrand.New(seed)
+	perm := rng.Perm(2 * rows * cols)
+	var out []Edge
+	k := 0
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				out = append(out, Edge{id(r, c), id(r, c + 1), int64(perm[k]) + 1})
+				k++
+			}
+			if r+1 < rows {
+				out = append(out, Edge{id(r, c), id(r + 1, c), int64(perm[k]) + 1})
+				k++
+			}
+		}
+	}
+	return out
+}
+
+// PrefAttach returns a preferential-attachment graph: each new vertex
+// attaches d edges to earlier vertices with probability proportional to
+// degree (skewed degrees; use with the degree-reduction wrapper).
+func PrefAttach(n, d int, seed uint64) []Edge {
+	rng := xrand.New(seed)
+	var out []Edge
+	var targets []int // vertex repeated per degree
+	seen := make(map[[2]int]bool)
+	w := int64(1)
+	for v := 1; v < n; v++ {
+		for j := 0; j < d && j < v; j++ {
+			var u int
+			if len(targets) == 0 {
+				u = rng.Intn(v)
+			} else {
+				u = targets[rng.Intn(len(targets))]
+			}
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			if seen[[2]int{a, b}] {
+				continue
+			}
+			seen[[2]int{a, b}] = true
+			out = append(out, Edge{a, b, w})
+			w += int64(1 + rng.Intn(3))
+			targets = append(targets, u, v)
+		}
+	}
+	return out
+}
+
+// Churn builds a stream: load the base edges, then `steps` operations that
+// keep roughly the base edge count by alternating random deletions of live
+// edges and insertions of fresh random edges (weights unique and
+// increasing). respectDeg3 restricts inserts to degree < 3 endpoints.
+func Churn(n int, base []Edge, steps int, respectDeg3 bool, seed uint64) Stream {
+	rng := xrand.New(seed)
+	var ops []Op
+	type pk = [2]int
+	live := map[pk]bool{}
+	deg := make([]int, n)
+	nextW := int64(1)
+	norm := func(u, v int) pk {
+		if u > v {
+			u, v = v, u
+		}
+		return pk{u, v}
+	}
+	var liveList []pk
+	add := func(u, v int, w int64) {
+		ops = append(ops, Op{OpInsert, u, v, w})
+		k := norm(u, v)
+		live[k] = true
+		liveList = append(liveList, k)
+		deg[u]++
+		deg[v]++
+		if w >= nextW {
+			nextW = w + 1
+		}
+	}
+	for _, e := range base {
+		add(e.U, e.V, e.W)
+	}
+	for s := 0; s < steps; s++ {
+		if rng.Bool() && len(liveList) > 0 {
+			// Delete a random live edge.
+			for tries := 0; tries < 10 && len(liveList) > 0; tries++ {
+				i := rng.Intn(len(liveList))
+				k := liveList[i]
+				liveList[i] = liveList[len(liveList)-1]
+				liveList = liveList[:len(liveList)-1]
+				if !live[k] {
+					continue
+				}
+				delete(live, k)
+				deg[k[0]]--
+				deg[k[1]]--
+				ops = append(ops, Op{OpDelete, k[0], k[1], 0})
+				break
+			}
+		} else {
+			for tries := 0; tries < 20; tries++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u == v || live[norm(u, v)] {
+					continue
+				}
+				if respectDeg3 && (deg[u] >= 3 || deg[v] >= 3) {
+					continue
+				}
+				add(u, v, nextW)
+				break
+			}
+		}
+	}
+	return Stream{N: n, Ops: ops}
+}
+
+// BuildTeardown builds a stream that inserts all base edges then deletes
+// them in a seeded random order (every deletion of a forest edge forces a
+// replacement search — the expensive path).
+func BuildTeardown(n int, base []Edge, seed uint64) Stream {
+	rng := xrand.New(seed)
+	var ops []Op
+	for _, e := range base {
+		ops = append(ops, Op{OpInsert, e.U, e.V, e.W})
+	}
+	order := rng.Perm(len(base))
+	for _, i := range order {
+		ops = append(ops, Op{OpDelete, base[i].U, base[i].V, 0})
+	}
+	return Stream{N: n, Ops: ops}
+}
+
+// SlidingWindow builds the classic temporal-graph stream: edges arrive one
+// per step and expire after `window` steps, so the live graph is always the
+// most recent `window` arrivals. Every step beyond the warm-up is one
+// insertion plus one deletion.
+func SlidingWindow(n, window, steps int, seed uint64) Stream {
+	rng := xrand.New(seed)
+	type pk = [2]int
+	var ops []Op
+	var fifo []pk
+	live := map[pk]bool{}
+	w := int64(1)
+	for s := 0; s < steps; s++ {
+		// Arrive.
+		for tries := 0; tries < 30; tries++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			k := pk{u, v}
+			if live[k] {
+				continue
+			}
+			live[k] = true
+			fifo = append(fifo, k)
+			ops = append(ops, Op{OpInsert, u, v, w})
+			w++
+			break
+		}
+		// Expire.
+		if len(fifo) > window {
+			k := fifo[0]
+			fifo = fifo[1:]
+			delete(live, k)
+			ops = append(ops, Op{OpDelete, k[0], k[1], 0})
+		}
+	}
+	return Stream{N: n, Ops: ops}
+}

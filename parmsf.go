@@ -1,0 +1,201 @@
+// Package parmsf maintains a minimum spanning forest of a fully dynamic
+// edge-weighted undirected graph, implementing Kopelowitz, Porat and
+// Rosenmutter, "Improved Worst-Case Deterministic Parallel Dynamic Minimum
+// Spanning Forest" (SPAA 2018).
+//
+// The default Forest composes the full pipeline of the paper: Frederickson
+// degree reduction (Section 1.1) around the chunked Euler-tour / LSDS core
+// structure (Sections 2-3, Theorem 1.2), and optionally the sparsification
+// tree (Section 5, Theorem 1.1) for graphs with m >> n. With
+// Options.Parallel the core runs its EREW PRAM driver (Section 3, Theorem
+// 3.1) on a simulated machine whose depth and work counters are available
+// through PRAM().
+//
+// Typical use:
+//
+//	f := parmsf.New(n, parmsf.Options{})
+//	f.Insert(u, v, w)
+//	f.Delete(u, v)
+//	connected := f.Connected(a, b)
+//	total := f.Weight()
+package parmsf
+
+import (
+	"errors"
+
+	"parmsf/internal/core"
+	"parmsf/internal/pram"
+	"parmsf/internal/sparsify"
+	"parmsf/internal/ternary"
+)
+
+// Weight is an edge weight. Only comparisons matter to the algorithm.
+type Weight = int64
+
+// MinWeight is the lowest admissible edge weight (weights at or below it
+// are reserved by the degree-reduction gadget).
+const MinWeight = ternary.RingWeight + 1
+
+// Common errors.
+var (
+	// ErrExists reports insertion of an already-present edge.
+	ErrExists = errors.New("parmsf: edge already present")
+	// ErrNotFound reports deletion of an absent edge.
+	ErrNotFound = errors.New("parmsf: edge not present")
+	// ErrCapacity reports exceeding the configured MaxEdges.
+	ErrCapacity = errors.New("parmsf: edge capacity exhausted")
+	// ErrBadEdge reports a self loop, an out-of-range vertex, or a weight
+	// below MinWeight.
+	ErrBadEdge = errors.New("parmsf: invalid edge")
+)
+
+// Options configures a Forest.
+type Options struct {
+	// MaxEdges caps the number of concurrently live edges (sizing the
+	// degree-reduction gadget). Default 4n.
+	MaxEdges int
+	// Sparsify routes updates through the sparsification tree of Section
+	// 5, making update cost depend on n rather than m. Worthwhile when the
+	// graph is dense.
+	Sparsify bool
+	// Parallel runs the core structure's EREW PRAM driver (Section 3).
+	// Depth and work counters are exposed via PRAM().
+	Parallel bool
+	// CheckEREW enables exclusive-access verification on the simulated
+	// machine (testing; implies Parallel).
+	CheckEREW bool
+	// K overrides the chunk-size parameter (default: sqrt(n log n)
+	// sequential, sqrt(n) parallel).
+	K int
+}
+
+// Forest is a dynamic minimum spanning forest over vertices 0..n-1.
+type Forest struct {
+	n    int
+	eng  engine
+	mach *pram.Machine
+}
+
+// engine abstracts the composed pipeline.
+type engine interface {
+	InsertEdge(u, v int, w int64) error
+	DeleteEdge(u, v int) error
+	Connected(u, v int) bool
+	Weight() int64
+	ForestSize() int
+	ForestEdges(f func(u, v int, w int64) bool)
+}
+
+// New creates an empty forest over n vertices (n >= 2).
+func New(n int, opt Options) *Forest {
+	if n < 2 {
+		panic("parmsf: need at least two vertices")
+	}
+	if opt.MaxEdges == 0 {
+		opt.MaxEdges = 4 * n
+	}
+	if opt.CheckEREW {
+		opt.Parallel = true
+	}
+	f := &Forest{n: n}
+	if opt.Parallel {
+		f.mach = pram.New(opt.CheckEREW)
+	}
+	mkCore := func(gn int) ternary.Engine {
+		cfg := core.Config{K: opt.K}
+		if f.mach != nil {
+			return core.NewMSF(gn, cfg, core.PRAMCharger{M: f.mach})
+		}
+		return core.NewMSF(gn, cfg, core.SeqCharger{})
+	}
+	if opt.Sparsify {
+		f.eng = sparsify.New(n, func(localN, maxEdges int) sparsify.Engine {
+			return ternary.New(localN, maxEdges, mkCore)
+		})
+	} else {
+		f.eng = ternary.New(n, opt.MaxEdges, mkCore)
+	}
+	return f
+}
+
+// N returns the vertex count.
+func (f *Forest) N() int { return f.n }
+
+// Insert adds edge (u, v) with weight w and updates the forest. Weights at
+// or below MinWeight are rejected.
+func (f *Forest) Insert(u, v int, w Weight) error {
+	err := f.eng.InsertEdge(u, v, w)
+	switch err {
+	case nil:
+		return nil
+	case ternary.ErrExists, sparsify.ErrExists:
+		return ErrExists
+	case ternary.ErrCapacity:
+		return ErrCapacity
+	case ternary.ErrSelfLoop, ternary.ErrVertex, ternary.ErrWeight:
+		return ErrBadEdge
+	}
+	return ErrBadEdge
+}
+
+// Delete removes edge (u, v) and updates the forest (finding a replacement
+// when a forest edge is removed).
+func (f *Forest) Delete(u, v int) error {
+	err := f.eng.DeleteEdge(u, v)
+	switch err {
+	case nil:
+		return nil
+	case ternary.ErrMissing, sparsify.ErrMissing:
+		return ErrNotFound
+	}
+	return err
+}
+
+// Connected reports whether u and v are in the same tree.
+func (f *Forest) Connected(u, v int) bool { return f.eng.Connected(u, v) }
+
+// Weight returns the total weight of the forest.
+func (f *Forest) Weight() Weight { return f.eng.Weight() }
+
+// Size returns the number of forest edges.
+func (f *Forest) Size() int { return f.eng.ForestSize() }
+
+// Edges calls fn for every forest edge, stopping early on false.
+func (f *Forest) Edges(fn func(u, v int, w Weight) bool) { f.eng.ForestEdges(fn) }
+
+// Components returns the number of connected components (isolated vertices
+// count as components): n minus the number of forest edges.
+func (f *Forest) Components() int { return f.n - f.eng.ForestSize() }
+
+// PRAM returns the simulated EREW machine when Options.Parallel was set
+// (depth = Time, work = Work), or nil.
+func (f *Forest) PRAM() *pram.Machine { return f.mach }
+
+// NewConnectivity returns a Forest specialized for dynamic connectivity
+// (the weaker sister problem discussed in Section 1 of the paper): all
+// edges carry equal weight, so the structure maintains some spanning
+// forest and Connected/Components answer connectivity queries with the
+// same worst-case update bounds. Use InsertUnweighted/Delete.
+func NewConnectivity(n int, opt Options) *Connectivity {
+	return &Connectivity{f: New(n, opt)}
+}
+
+// Connectivity is a dynamic-connectivity view over the MSF structure.
+type Connectivity struct {
+	f *Forest
+}
+
+// InsertUnweighted adds edge (u, v).
+func (c *Connectivity) InsertUnweighted(u, v int) error { return c.f.Insert(u, v, 0) }
+
+// Delete removes edge (u, v).
+func (c *Connectivity) Delete(u, v int) error { return c.f.Delete(u, v) }
+
+// Connected reports whether u and v are in one component.
+func (c *Connectivity) Connected(u, v int) bool { return c.f.Connected(u, v) }
+
+// Components returns the number of connected components.
+func (c *Connectivity) Components() int { return c.f.Components() }
+
+// Forest exposes the underlying MSF structure.
+func (c *Connectivity) Forest() *Forest { return c.f }
