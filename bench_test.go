@@ -1,16 +1,20 @@
 // Benchmark twins of the EXPERIMENTS.md tables: one benchmark per
-// experiment (E1..E10), each reporting the custom metric the corresponding
+// experiment (E1..E13), each reporting the custom metric the corresponding
 // theorem or lemma bounds (wall time for the sequential claims, simulated
-// EREW depth/work for the parallel ones). `go test -bench=. -benchmem`
+// EREW depth/work for the parallel ones, real multicore wall time for the
+// batch executor). `go test -bench=. -benchmem`
 // regenerates the full set; cmd/msfbench prints the richer tables.
 package parmsf
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
+	"time"
 
 	"parmsf/internal/baseline"
+	"parmsf/internal/batch"
 	"parmsf/internal/core"
 	"parmsf/internal/pram"
 	"parmsf/internal/sparsify"
@@ -308,6 +312,98 @@ func BenchmarkE9GetEdge(b *testing.B) {
 			k, _ := m.Store().Params()
 			b.ReportMetric(meanH, "btc-height")
 			b.ReportMetric(float64(maxH)/math.Log2(float64(k)+2), "height/log2K")
+		})
+	}
+}
+
+// batchItems builds a deterministic shuffled batch for the kernel
+// benchmarks.
+func batchItems(size int, seed uint64) []batch.Item {
+	rng := xrand.New(seed)
+	items := make([]batch.Item, size)
+	for i := range items {
+		items[i] = batch.Item{
+			Key: int64(rng.Intn(1 << 30)),
+			A:   rng.Intn(1 << 20),
+			B:   rng.Intn(1 << 20),
+			Idx: i,
+		}
+	}
+	return items
+}
+
+// BenchmarkE12BatchKernels — wall-clock scaling of the goroutine-parallel
+// executor on the batch sort kernel (the preprocessing stage of
+// InsertEdges). Unlike E2/E3, which report simulated depth and work, this
+// measures real time: the speedup-vs-1w metric is single-worker wall time
+// over this configuration's wall time for an identical 1M-item sort. The
+// attainable speedup is bounded by the machine's core count (reported as
+// the gomaxprocs metric): on a single-core box every configuration
+// measures ~1.0, on a c-core box workers=min(w, c) approaches min(w, c).
+func BenchmarkE12BatchKernels(b *testing.B) {
+	const size = 1 << 20
+	src := batchItems(size, 2024)
+	work := make([]batch.Item, size)
+
+	baseNS := func() float64 {
+		m := pram.NewParallel(1)
+		defer m.Close()
+		best := math.MaxFloat64
+		for r := 0; r < 3; r++ {
+			copy(work, src)
+			t0 := time.Now()
+			batch.Sort(m, work)
+			if ns := float64(time.Since(t0).Nanoseconds()); ns < best {
+				best = ns
+			}
+		}
+		return best
+	}()
+
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			m := pram.NewParallel(w)
+			defer m.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				copy(work, src)
+				b.StartTimer()
+				batch.Sort(m, work)
+			}
+			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(perOp/float64(size), "ns/item")
+			b.ReportMetric(baseNS/perOp, "speedup-vs-1w")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		})
+	}
+}
+
+// BenchmarkE13BatchUpdates — end-to-end InsertEdges wall time per edge
+// across worker counts. The sort kernel scales with workers while the
+// structural application stays sequential, so this reports the Amdahl
+// ceiling of the current batch path, not the kernel speedup (see E12).
+func BenchmarkE13BatchUpdates(b *testing.B) {
+	const n = 1 << 12
+	base := workload.RandomSparse(n, 2*n, 77)
+	edges := make([]Edge, len(base))
+	for i, e := range base {
+		edges[i] = Edge{e.U, e.V, e.W}
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				f := New(n, Options{MaxEdges: 4 * n, Workers: w})
+				b.StartTimer()
+				if errs := f.InsertEdges(edges); errs != nil {
+					b.Fatalf("batch errors: %v", errs)
+				}
+				b.StopTimer()
+				f.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(edges)), "ns/edge")
 		})
 	}
 }

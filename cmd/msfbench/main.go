@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E11) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E12) or 'all'")
 	full := flag.Bool("full", false, "paper-scale sizes")
 	flag.Parse()
 

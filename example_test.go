@@ -23,6 +23,27 @@ func ExampleNew() {
 	// weight after delete: 25
 }
 
+// ExampleForest_InsertEdges shows the batch-update API on the
+// goroutine-parallel backend: the batch is validated and weight-sorted on
+// the worker pool, then applied deterministically.
+func ExampleForest_InsertEdges() {
+	f := parmsf.New(6, parmsf.Options{Workers: 4})
+	defer f.Close()
+	errs := f.InsertEdges([]parmsf.Edge{
+		{U: 0, V: 1, W: 9},
+		{U: 1, V: 2, W: 8},
+		{U: 0, V: 2, W: 7}, // triangle: the weight-9 edge stays out
+		{U: 3, V: 3, W: 1}, // self loop: rejected, rest of the batch applies
+	})
+	fmt.Println("weight:", f.Weight(), "size:", f.Size())
+	fmt.Println("bad edge error:", errs[3] != nil)
+	fmt.Println("depth:", f.PRAM().Time > 0)
+	// Output:
+	// weight: 15 size: 2
+	// bad edge error: true
+	// depth: true
+}
+
 // ExampleForest_Edges shows forest enumeration.
 func ExampleForest_Edges() {
 	f := parmsf.New(4, parmsf.Options{})

@@ -1,0 +1,3 @@
+module parmsf
+
+go 1.24

@@ -20,6 +20,13 @@ type Charger interface {
 	// Climb charges a balanced-tree sweep over width items: depth
 	// ceil(log2 width), geometric width (total work O(width)).
 	Climb(width int)
+	// ParDo executes a data-parallel kernel of width independent
+	// iterations. The sequential charger runs it as an inline uncharged
+	// loop (wall clock measures it); the PRAM charger charges one round of
+	// width work and executes f on the machine — for real, across the
+	// worker pool, when the machine is a pram.NewParallel one. Kernels
+	// must be EREW-clean: distinct p write distinct cells.
+	ParDo(width int, f func(p int))
 	// Machine returns the underlying PRAM, or nil for sequential execution.
 	Machine() *pram.Machine
 }
@@ -35,6 +42,13 @@ func (SeqCharger) Par(int, int) {}
 
 // Climb implements Charger.
 func (SeqCharger) Climb(int) {}
+
+// ParDo implements Charger.
+func (SeqCharger) ParDo(width int, f func(p int)) {
+	for p := 0; p < width; p++ {
+		f(p)
+	}
+}
 
 // Machine implements Charger.
 func (SeqCharger) Machine() *pram.Machine { return nil }
@@ -57,6 +71,9 @@ func (c PRAMCharger) Climb(width int) {
 		}
 	}
 }
+
+// ParDo implements Charger.
+func (c PRAMCharger) ParDo(width int, f func(p int)) { c.M.Step(width, f) }
 
 // Machine implements Charger.
 func (c PRAMCharger) Machine() *pram.Machine { return c.M }

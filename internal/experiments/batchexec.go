@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"parmsf"
+	"parmsf/internal/batch"
+	"parmsf/internal/pram"
+	"parmsf/internal/stats"
+	"parmsf/internal/workload"
+	"parmsf/internal/xrand"
+)
+
+// E12BatchExecutor — real-concurrency backend: wall-clock scaling of the
+// goroutine worker-pool executor on the batch kernels behind
+// parmsf.InsertEdges. Every other experiment reports simulated depth/work;
+// this one reports measured nanoseconds across worker counts. The sort
+// kernel is the parallelizable stage; structural application is sequential,
+// so the end-to-end column shows the Amdahl ceiling of the current batch
+// path. Attainable speedup is capped by GOMAXPROCS.
+func E12BatchExecutor(w io.Writer, sc Scale) {
+	sortSize := 1 << 18
+	n := 1 << 10
+	switch sc {
+	case Full:
+		sortSize = 1 << 20
+		n = 1 << 12
+	case Tiny:
+		sortSize = 1 << 14
+		n = 256
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("E12 — goroutine executor: batch kernel wall time (%d-item sort, n=%d batch insert, GOMAXPROCS=%d)",
+			sortSize, n, runtime.GOMAXPROCS(0)),
+		"workers", "sort ms", "sort speedup", "insert ns/edge", "insert speedup")
+
+	src := make([]batch.Item, sortSize)
+	rng := xrand.New(321)
+	for i := range src {
+		src[i] = batch.Item{Key: int64(rng.Intn(1 << 30)), A: i, B: i, Idx: i}
+	}
+	work := make([]batch.Item, sortSize)
+	base := workload.RandomSparse(n, 2*n, uint64(n)+61)
+	edges := make([]parmsf.Edge, len(base))
+	for i, e := range base {
+		edges[i] = parmsf.Edge{U: e.U, V: e.V, W: e.W}
+	}
+
+	timeSort := func(workers int) float64 {
+		m := pram.NewParallel(workers)
+		defer m.Close()
+		best := -1.0
+		for r := 0; r < 3; r++ {
+			copy(work, src)
+			t0 := time.Now()
+			batch.Sort(m, work)
+			if ns := float64(time.Since(t0).Nanoseconds()); best < 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	timeInsert := func(workers int) float64 {
+		f := parmsf.New(n, parmsf.Options{MaxEdges: 4 * n, Workers: workers})
+		defer f.Close()
+		t0 := time.Now()
+		if errs := f.InsertEdges(edges); errs != nil {
+			panic(fmt.Sprintf("experiments: batch insert errors: %v", errs))
+		}
+		return float64(time.Since(t0).Nanoseconds()) / float64(len(edges))
+	}
+
+	var sort1, ins1 float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		st := timeSort(workers)
+		it := timeInsert(workers)
+		if workers == 1 {
+			sort1, ins1 = st, it
+		}
+		tb.Row(workers, st/1e6, sort1/st, it, ins1/it)
+	}
+	tb.Fprint(w)
+	fmt.Fprintln(w, "theory: sort speedup ~ min(workers, cores); insert speedup capped by the sequential application stage (Amdahl)")
+	fmt.Fprintln(w)
+}

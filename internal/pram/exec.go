@@ -1,0 +1,142 @@
+package pram
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file adds the real-concurrency backend of the machine: a persistent
+// goroutine worker pool that executes Step/Run kernels across OS threads
+// with a synchronous barrier per round. Machines from New simulate rounds
+// sequentially; machines from NewParallel fan each round out over the pool.
+// Cost accounting (Time, Work, MaxActive) is identical for both backends —
+// the executor changes only how long a round takes on the wall clock, never
+// what it is charged on the model — so a workload driven through a
+// sequential and a parallel machine must report identical counters.
+
+// NewParallel returns a machine whose kernels execute for real across a
+// pool of `workers` goroutines (workers <= 0 selects GOMAXPROCS). EREW
+// checking is off: a kernel that is EREW-clean touches every memory cell
+// from at most one processor per round, which is exactly the discipline
+// that makes the parallel execution data-race free. To verify a kernel,
+// run it through New(true) first; if the Check flag is set on a parallel
+// machine anyway, rounds fall back to sequential execution so the
+// (unsynchronized) stamp tables stay safe.
+//
+// Call Close when done to release the worker goroutines.
+func NewParallel(workers int) *Machine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := &Machine{workers: workers}
+	if workers > 1 {
+		m.pool = newPool(workers)
+	}
+	return m
+}
+
+// Workers returns the size of the machine's worker pool (1 for sequential
+// simulators).
+func (m *Machine) Workers() int {
+	if m.workers == 0 {
+		return 1
+	}
+	return m.workers
+}
+
+// Close releases the worker pool. The machine remains usable afterwards:
+// kernels simply run sequentially. Safe on sequential machines and safe to
+// call twice.
+func (m *Machine) Close() {
+	if m.pool != nil {
+		m.pool.close()
+		m.pool = nil
+	}
+}
+
+// Run executes f(p) for p in [0, active) on the executor without charging
+// Time or Work. It is the escape hatch for host kernels whose model cost is
+// charged separately (via Steps) because their real execution shape — chunk
+// counts, merge orders — depends on the worker count and must not leak into
+// the machine-independent accounting. Kernels must be EREW-clean: distinct
+// p write distinct cells.
+func (m *Machine) Run(active int, f func(p int)) {
+	if active <= 0 {
+		return
+	}
+	if m.pool != nil && !m.Check && active > 1 {
+		m.pool.run(active, f)
+		return
+	}
+	for p := 0; p < active; p++ {
+		f(p)
+	}
+}
+
+// chunksPerWorker over-decomposes each round for load balance: a worker
+// that finishes a cheap chunk steals the next instead of idling at the
+// barrier behind a slow one.
+const chunksPerWorker = 4
+
+// pool is a fixed set of worker goroutines consuming chunk jobs. One pool
+// serves one machine; rounds are serialized by the caller (the machine is
+// not itself safe for concurrent Step calls, matching the synchronous PRAM
+// model).
+type pool struct {
+	workers int
+	jobs    chan poolJob
+	once    sync.Once
+}
+
+type poolJob struct {
+	lo, hi int
+	f      func(p int)
+	done   *sync.WaitGroup
+}
+
+func newPool(workers int) *pool {
+	pl := &pool{
+		workers: workers,
+		// Buffer one full round of chunks so the dispatcher never blocks
+		// on a send mid-round.
+		jobs: make(chan poolJob, workers*chunksPerWorker),
+	}
+	for i := 0; i < workers; i++ {
+		go pl.worker()
+	}
+	return pl
+}
+
+func (pl *pool) worker() {
+	for j := range pl.jobs {
+		for p := j.lo; p < j.hi; p++ {
+			j.f(p)
+		}
+		j.done.Done()
+	}
+}
+
+// run fans processors [0, active) out over the pool and waits for the
+// barrier. Chunks are contiguous ranges so each worker touches memory in
+// increasing-p order.
+func (pl *pool) run(active int, f func(p int)) {
+	chunks := pl.workers * chunksPerWorker
+	if chunks > active {
+		chunks = active
+	}
+	size := (active + chunks - 1) / chunks
+	var done sync.WaitGroup
+	for lo := 0; lo < active; lo += size {
+		hi := lo + size
+		if hi > active {
+			hi = active
+		}
+		done.Add(1)
+		pl.jobs <- poolJob{lo: lo, hi: hi, f: f, done: &done}
+	}
+	done.Wait()
+}
+
+func (pl *pool) close() {
+	pl.once.Do(func() { close(pl.jobs) })
+}

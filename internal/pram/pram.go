@@ -12,12 +12,20 @@
 // Sequential host manipulation (the paper frequently says "processor p1
 // performs X in O(f) time") is charged through Seq, which advances Time and
 // Work by the same amount — i.e. one processor working for f rounds.
+//
+// Two execution backends share the Machine type: New returns the classic
+// sequential simulator, and NewParallel returns a machine that executes
+// each round's kernel for real across a goroutine worker pool with a
+// synchronous barrier per round (exec.go). The accounting is identical
+// either way; only wall-clock time differs.
 package pram
 
 import "fmt"
 
 // Machine is a simulated EREW PRAM. The zero value is ready to use with
-// checking disabled.
+// checking disabled. Machines from NewParallel additionally execute each
+// round's kernel across a goroutine worker pool (see exec.go); the cost
+// counters are backend-independent.
 type Machine struct {
 	Time      int64 // parallel rounds elapsed (depth)
 	Work      int64 // total processor-rounds
@@ -26,6 +34,9 @@ type Machine struct {
 
 	stepID     int64 // distinct id per round, for cell stamping
 	violations []string
+
+	workers int   // configured pool size; 0 or 1 = sequential
+	pool    *pool // nil for sequential machines
 }
 
 // New returns a machine; check enables EREW exclusivity verification on
@@ -36,7 +47,11 @@ func New(check bool) *Machine {
 
 // Step executes one synchronous round with processors 0..active-1, calling
 // f(p) for each. Each f(p) must perform O(1) simulated memory accesses
-// (declared via Space.Touch in checked code paths).
+// (declared via Space.Touch in checked code paths). On a sequential machine
+// the calls run in processor order; on a parallel machine they run
+// concurrently on the worker pool with a barrier before Step returns, so
+// kernels must be EREW-clean (distinct processors touch distinct cells).
+// Both backends charge identically: one round, active work.
 func (m *Machine) Step(active int, f func(p int)) {
 	if active <= 0 {
 		return
@@ -47,9 +62,7 @@ func (m *Machine) Step(active int, f func(p int)) {
 		m.MaxActive = active
 	}
 	m.stepID++
-	for p := 0; p < active; p++ {
-		f(p)
-	}
+	m.Run(active, f)
 }
 
 // Steps executes r identical-width rounds without running user code, for

@@ -48,7 +48,7 @@ func TestFitPowerExact(t *testing.T) {
 func TestFitPowerHalf(t *testing.T) {
 	// y = sqrt(x) with noise-free samples.
 	var xs, ys []float64
-	for x := 4.0; x <= 1 << 20; x *= 4 {
+	for x := 4.0; x <= 1<<20; x *= 4 {
 		xs = append(xs, x)
 		ys = append(ys, math.Sqrt(x))
 	}

@@ -105,7 +105,7 @@ func (f *Forest) Run(entries []Entry, emit func(tree int32, val int64, payload i
 	m := f.m
 
 	// Placement round: each processor writes its leaf.
-	m.Step(countActive(entries), func(int) {})
+	m.Steps(1, countActive(entries))
 	for k, e := range entries {
 		if e.Tree < 0 {
 			continue
@@ -122,7 +122,7 @@ func (f *Forest) Run(entries []Entry, emit func(tree int32, val int64, payload i
 			break
 		}
 		// Phase 1: left children write their value into the parent.
-		m.Step(active, func(int) {})
+		m.Steps(1, active)
 		for i := range cs {
 			c := &cs[i]
 			if c.active && c.idx%2 == 0 {
@@ -133,7 +133,7 @@ func (f *Forest) Run(entries []Entry, emit func(tree int32, val int64, payload i
 		}
 		// Phase 2: right children compare; they overwrite a heavier parent
 		// or deactivate.
-		m.Step(active, func(int) {})
+		m.Steps(1, active)
 		for i := range cs {
 			c := &cs[i]
 			if !c.active || c.idx%2 == 0 {
@@ -149,7 +149,7 @@ func (f *Forest) Run(entries []Entry, emit func(tree int32, val int64, payload i
 			}
 		}
 		// Phase 3: left children re-read; a lighter right sibling won.
-		m.Step(active, func(int) {})
+		m.Steps(1, active)
 		for i := range cs {
 			c := &cs[i]
 			if !c.active || c.idx%2 != 0 {
@@ -162,7 +162,7 @@ func (f *Forest) Run(entries []Entry, emit func(tree int32, val int64, payload i
 			}
 		}
 		// Phase 4: survivors ascend.
-		m.Step(active, func(int) {})
+		m.Steps(1, active)
 		for i := range cs {
 			if cs[i].active {
 				cs[i].idx /= 2
@@ -233,9 +233,9 @@ func MinReduce(m *Machine, vals []int64, skip int64) (int, int64) {
 		cur = append(cur, slot{v, int32(i)})
 	}
 	// One round for the parallel load of the leaves.
-	m.Step(len(cur), func(int) {})
+	m.Steps(1, len(cur))
 	for len(cur) > 1 {
-		m.Step((len(cur)+1)/2, func(int) {})
+		m.Steps(1, (len(cur)+1)/2)
 		out := make([]slot, 0, (len(cur)+1)/2)
 		for i := 0; i+1 < len(cur); i += 2 {
 			a, b := cur[i], cur[i+1]

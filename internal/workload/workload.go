@@ -121,11 +121,11 @@ func Grid(rows, cols int, seed uint64) []Edge {
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			if c+1 < cols {
-				out = append(out, Edge{id(r, c), id(r, c + 1), int64(perm[k]) + 1})
+				out = append(out, Edge{id(r, c), id(r, c+1), int64(perm[k]) + 1})
 				k++
 			}
 			if r+1 < rows {
-				out = append(out, Edge{id(r, c), id(r + 1, c), int64(perm[k]) + 1})
+				out = append(out, Edge{id(r, c), id(r+1, c), int64(perm[k]) + 1})
 				k++
 			}
 		}

@@ -9,7 +9,9 @@
 // tree (Section 5, Theorem 1.1) for graphs with m >> n. With
 // Options.Parallel the core runs its EREW PRAM driver (Section 3, Theorem
 // 3.1) on a simulated machine whose depth and work counters are available
-// through PRAM().
+// through PRAM(); with Options.Workers the machine additionally executes
+// its kernels for real across a goroutine worker pool, and the batch
+// updates InsertEdges/DeleteEdges preprocess whole batches in parallel.
 //
 // Typical use:
 //
@@ -23,6 +25,7 @@ package parmsf
 import (
 	"errors"
 
+	"parmsf/internal/batch"
 	"parmsf/internal/core"
 	"parmsf/internal/pram"
 	"parmsf/internal/sparsify"
@@ -61,8 +64,17 @@ type Options struct {
 	// Parallel runs the core structure's EREW PRAM driver (Section 3).
 	// Depth and work counters are exposed via PRAM().
 	Parallel bool
+	// Workers selects the real-concurrency backend: the PRAM driver's
+	// kernels and the batch-update preprocessing execute across a pool of
+	// this many goroutines with a barrier per round (0 = simulate rounds
+	// sequentially; negative = GOMAXPROCS). Implies Parallel. The cost
+	// counters reported by PRAM() are identical for every worker count;
+	// only wall-clock time changes. Forests with workers should be
+	// released with Close.
+	Workers int
 	// CheckEREW enables exclusive-access verification on the simulated
-	// machine (testing; implies Parallel).
+	// machine (testing; implies Parallel and forces sequential kernel
+	// execution, overriding Workers).
 	CheckEREW bool
 	// K overrides the chunk-size parameter (default: sqrt(n log n)
 	// sequential, sqrt(n) parallel).
@@ -74,6 +86,7 @@ type Forest struct {
 	n    int
 	eng  engine
 	mach *pram.Machine
+	ch   core.Charger // batch kernels route through this
 }
 
 // engine abstracts the composed pipeline.
@@ -94,12 +107,21 @@ func New(n int, opt Options) *Forest {
 	if opt.MaxEdges == 0 {
 		opt.MaxEdges = 4 * n
 	}
-	if opt.CheckEREW {
+	if opt.CheckEREW || opt.Workers != 0 {
 		opt.Parallel = true
 	}
 	f := &Forest{n: n}
 	if opt.Parallel {
-		f.mach = pram.New(opt.CheckEREW)
+		if opt.Workers != 0 && !opt.CheckEREW {
+			f.mach = pram.NewParallel(opt.Workers)
+		} else {
+			f.mach = pram.New(opt.CheckEREW)
+		}
+	}
+	if f.mach != nil {
+		f.ch = core.PRAMCharger{M: f.mach}
+	} else {
+		f.ch = core.SeqCharger{}
 	}
 	mkCore := func(gn int) ternary.Engine {
 		cfg := core.Config{K: opt.K}
@@ -149,6 +171,116 @@ func (f *Forest) Delete(u, v int) error {
 		return ErrNotFound
 	}
 	return err
+}
+
+// Edge is a batch-insertion item for InsertEdges.
+type Edge struct {
+	U, V int
+	W    Weight
+}
+
+// EdgeKey names an edge for batch deletion with DeleteEdges.
+type EdgeKey struct {
+	U, V int
+}
+
+// InsertEdges inserts a batch of edges, updating the forest once per edge.
+// The batch is preprocessed in parallel on the forest's executor (when
+// Options.Workers selected one): a validation kernel classifies every item
+// in one round, and a parallel merge sort orders the survivors by ascending
+// weight — so an edge can never displace a lighter batch-mate that was
+// inserted after it, which avoids quadratic cycle-swap churn inside a
+// batch. Structural application is sequential and deterministic: items
+// apply in (weight, endpoints, batch index) order, so the resulting forest
+// is independent of the worker count.
+//
+// The result is nil when every edge was inserted; otherwise it has one
+// entry per input edge, nil for successes and the same error Insert would
+// have returned (ErrBadEdge, ErrExists, ErrCapacity) for failures.
+func (f *Forest) InsertEdges(edges []Edge) []error {
+	if len(edges) == 0 {
+		return nil
+	}
+	errs := make([]error, len(edges))
+	// Validation kernel: one EREW round, one processor per item, each
+	// writing only its own errs cell.
+	f.ch.ParDo(len(edges), func(i int) {
+		e := edges[i]
+		if e.U < 0 || e.U >= f.n || e.V < 0 || e.V >= f.n || e.U == e.V || e.W < MinWeight {
+			errs[i] = ErrBadEdge
+		}
+	})
+	items := make([]batch.Item, 0, len(edges))
+	for i, e := range edges {
+		if errs[i] == nil {
+			items = append(items, batch.Item{Key: e.W, A: e.U, B: e.V, Idx: i})
+		}
+	}
+	failed := len(edges) - len(items)
+	batch.Sort(f.mach, items)
+	for _, it := range items {
+		if err := f.Insert(it.A, it.B, it.Key); err != nil {
+			errs[it.Idx] = err
+			failed++
+		}
+	}
+	if failed == 0 {
+		return nil
+	}
+	return errs
+}
+
+// DeleteEdges deletes a batch of edges, finding replacements as needed. The
+// keys are canonicalized by a parallel kernel on the forest's executor and
+// then applied sequentially in batch order (replacement searches are
+// inherently serialized through the structure today; parallelizing them is
+// a roadmap item).
+//
+// The result is nil when every edge was deleted; otherwise it has one entry
+// per input key, nil for successes and the error Delete would have returned
+// (ErrNotFound for absent or malformed keys) for failures.
+func (f *Forest) DeleteEdges(keys []EdgeKey) []error {
+	if len(keys) == 0 {
+		return nil
+	}
+	errs := make([]error, len(keys))
+	canon := make([]EdgeKey, len(keys))
+	f.ch.ParDo(len(keys), func(i int) {
+		k := keys[i]
+		if k.U > k.V {
+			k.U, k.V = k.V, k.U
+		}
+		if k.U < 0 || k.V >= f.n || k.U == k.V {
+			// Such an edge cannot be present; match Delete's answer for an
+			// absent edge without consulting the engine.
+			errs[i] = ErrNotFound
+		}
+		canon[i] = k
+	})
+	failed := 0
+	for i, k := range canon {
+		if errs[i] != nil {
+			failed++
+			continue
+		}
+		if err := f.Delete(k.U, k.V); err != nil {
+			errs[i] = err
+			failed++
+		}
+	}
+	if failed == 0 {
+		return nil
+	}
+	return errs
+}
+
+// Close releases the worker goroutines behind Options.Workers. The forest
+// stays usable afterwards (kernels run sequentially). Safe on any forest
+// and safe to call twice.
+func (f *Forest) Close() {
+	if f.mach != nil {
+		f.mach.Close()
+	}
 }
 
 // Connected reports whether u and v are in the same tree.

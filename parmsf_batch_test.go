@@ -1,0 +1,230 @@
+package parmsf
+
+import (
+	"testing"
+
+	"parmsf/internal/workload"
+	"parmsf/internal/xrand"
+)
+
+func forestSnapshot(f *Forest) map[[3]int64]bool {
+	s := make(map[[3]int64]bool)
+	f.Edges(func(u, v int, w Weight) bool {
+		if u > v {
+			u, v = v, u
+		}
+		s[[3]int64{int64(u), int64(v), w}] = true
+		return true
+	})
+	return s
+}
+
+func sameForest(t *testing.T, a, b *Forest, label string) {
+	t.Helper()
+	if a.Weight() != b.Weight() || a.Size() != b.Size() {
+		t.Fatalf("%s: weight/size diverge: (%d,%d) vs (%d,%d)",
+			label, a.Weight(), a.Size(), b.Weight(), b.Size())
+	}
+	sa, sb := forestSnapshot(a), forestSnapshot(b)
+	if len(sa) != len(sb) {
+		t.Fatalf("%s: forests have %d vs %d edges", label, len(sa), len(sb))
+	}
+	for e := range sa {
+		if !sb[e] {
+			t.Fatalf("%s: edge %v only in first forest", label, e)
+		}
+	}
+}
+
+func TestInsertEdgesMatchesSingles(t *testing.T) {
+	const n = 64
+	base := workload.RandomSparse(n, 2*n, 42)
+	one := New(n, Options{})
+	bat := New(n, Options{})
+	var edges []Edge
+	for _, e := range base {
+		mustIns(t, one, e.U, e.V, e.W)
+		edges = append(edges, Edge{e.U, e.V, e.W})
+	}
+	if errs := bat.InsertEdges(edges); errs != nil {
+		t.Fatalf("InsertEdges reported errors: %v", errs)
+	}
+	sameForest(t, one, bat, "batch vs singles")
+}
+
+func TestInsertEdgesErrors(t *testing.T) {
+	f := New(8, Options{})
+	errs := f.InsertEdges([]Edge{
+		{0, 1, 10},            // ok
+		{1, 1, 5},             // self loop
+		{2, 99, 5},            // bad vertex
+		{-1, 3, 5},            // bad vertex
+		{2, 3, MinWeight - 1}, // reserved weight
+		{0, 1, 11},            // duplicate of index 0 (heavier, applies second)
+		{4, 5, 7},             // ok
+	})
+	if errs == nil {
+		t.Fatal("expected errors")
+	}
+	want := []error{nil, ErrBadEdge, ErrBadEdge, ErrBadEdge, ErrBadEdge, ErrExists, nil}
+	for i, w := range want {
+		if errs[i] != w {
+			t.Fatalf("errs[%d] = %v, want %v", i, errs[i], w)
+		}
+	}
+	if f.Size() != 2 || f.Weight() != 17 {
+		t.Fatalf("forest after partial batch: size=%d weight=%d", f.Size(), f.Weight())
+	}
+}
+
+func TestInsertEdgesSortsByWeight(t *testing.T) {
+	// A batch holding a triangle whose lightest edge comes last: weight
+	// ordering must leave the heaviest triangle edge out of the forest,
+	// same as any insertion order, but without ever promoting it.
+	f := New(4, Options{})
+	if errs := f.InsertEdges([]Edge{{0, 1, 30}, {1, 2, 20}, {0, 2, 10}}); errs != nil {
+		t.Fatalf("errors: %v", errs)
+	}
+	if f.Weight() != 30 || f.Size() != 2 {
+		t.Fatalf("triangle batch: weight=%d size=%d", f.Weight(), f.Size())
+	}
+	if snap := forestSnapshot(f); snap[[3]int64{0, 1, 30}] {
+		t.Fatal("heaviest triangle edge ended up in the forest")
+	}
+}
+
+func TestDeleteEdges(t *testing.T) {
+	const n = 16
+	f := New(n, Options{})
+	mustIns(t, f, 0, 1, 5)
+	mustIns(t, f, 1, 2, 6)
+	mustIns(t, f, 2, 3, 7)
+	errs := f.DeleteEdges([]EdgeKey{
+		{1, 0},  // reversed endpoints: ok
+		{2, 3},  // ok
+		{4, 5},  // absent
+		{7, 7},  // self loop: cannot exist
+		{3, 99}, // out of range: cannot exist
+	})
+	want := []error{nil, nil, ErrNotFound, ErrNotFound, ErrNotFound}
+	for i, w := range want {
+		if errs[i] != w {
+			t.Fatalf("errs[%d] = %v, want %v", i, errs[i], w)
+		}
+	}
+	if f.Size() != 1 || f.Weight() != 6 {
+		t.Fatalf("after batch delete: size=%d weight=%d", f.Size(), f.Weight())
+	}
+	if errs := f.DeleteEdges([]EdgeKey{{1, 2}}); errs != nil {
+		t.Fatalf("clean batch delete reported errors: %v", errs)
+	}
+}
+
+// TestBatchParityAcrossBackends drives an identical randomized stream of
+// batch and single updates through the sequential simulator and the real
+// goroutine-parallel executor (and a plain sequential forest), requiring
+// identical forests, weights, per-item errors, and — between the two
+// machine-backed runs — identical Time/Work/MaxActive counters. Run with
+// -race to also certify the executor's kernels are data-race free.
+func TestBatchParityAcrossBackends(t *testing.T) {
+	const n = 2048
+	plain := New(n, Options{})
+	sim := New(n, Options{Parallel: true})
+	par := New(n, Options{Workers: 4})
+	defer par.Close()
+	forests := []*Forest{plain, sim, par}
+
+	checkCounters := func(stage string) {
+		t.Helper()
+		ms, mp := sim.PRAM(), par.PRAM()
+		if ms.Time != mp.Time || ms.Work != mp.Work || ms.MaxActive != mp.MaxActive {
+			t.Fatalf("%s: counters diverge: sim {T=%d W=%d A=%d} vs par {T=%d W=%d A=%d}",
+				stage, ms.Time, ms.Work, ms.MaxActive, mp.Time, mp.Work, mp.MaxActive)
+		}
+	}
+	applyBatch := func(stage string, edges []Edge) {
+		t.Helper()
+		ref := plain.InsertEdges(edges)
+		for _, f := range forests[1:] {
+			errs := f.InsertEdges(edges)
+			if (ref == nil) != (errs == nil) {
+				t.Fatalf("%s: error presence diverges", stage)
+			}
+			for i := range ref {
+				if ref[i] != errs[i] {
+					t.Fatalf("%s: errs[%d] = %v vs %v", stage, i, errs[i], ref[i])
+				}
+			}
+		}
+	}
+
+	// One large batch exercising the chunk-sort + parallel-merge path
+	// (size above the inline-sort threshold).
+	base := workload.RandomSparse(n, 5000, 7)
+	big := make([]Edge, len(base))
+	for i, e := range base {
+		big[i] = Edge{e.U, e.V, e.W}
+	}
+	applyBatch("big insert", big)
+	checkCounters("big insert")
+	sameForest(t, plain, sim, "big insert sim")
+	sameForest(t, plain, par, "big insert par")
+
+	// Randomized churn: small batches of inserts and deletes plus single
+	// ops, all identical across backends.
+	rng := xrand.New(99)
+	live := append([]Edge(nil), big...)
+	nextW := int64(1 << 40)
+	for round := 0; round < 10; round++ {
+		var ins []Edge
+		for i := 0; i < 40; i++ {
+			ins = append(ins, Edge{rng.Intn(n), rng.Intn(n), nextW})
+			nextW++
+		}
+		// Duplicate one existing edge and one self loop to exercise the
+		// error paths in every backend.
+		ins = append(ins, Edge{live[0].U, live[0].V, nextW}, Edge{3, 3, nextW + 1})
+		nextW += 2
+		applyBatch("churn insert", ins)
+		for _, e := range ins {
+			if e.U != e.V && e.U != live[0].U {
+				live = append(live, e)
+			}
+		}
+
+		var del []EdgeKey
+		for i := 0; i < 20 && len(live) > 1; i++ {
+			j := rng.Intn(len(live))
+			del = append(del, EdgeKey{live[j].U, live[j].V})
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		del = append(del, EdgeKey{0, 0}) // never present
+		refDel := plain.DeleteEdges(del)
+		for _, f := range forests[1:] {
+			errs := f.DeleteEdges(del)
+			if (refDel == nil) != (errs == nil) {
+				t.Fatal("delete error presence diverges")
+			}
+			for i := range refDel {
+				if refDel[i] != errs[i] {
+					t.Fatalf("delete errs[%d] = %v vs %v", i, errs[i], refDel[i])
+				}
+			}
+		}
+		checkCounters("churn")
+	}
+	sameForest(t, plain, sim, "final sim")
+	sameForest(t, plain, par, "final par")
+}
+
+func TestForestCloseIdempotent(t *testing.T) {
+	f := New(8, Options{Workers: 2})
+	f.Close()
+	f.Close()
+	// Still usable after Close: kernels fall back to sequential.
+	if errs := f.InsertEdges([]Edge{{0, 1, 5}}); errs != nil {
+		t.Fatalf("insert after Close: %v", errs)
+	}
+	New(8, Options{}).Close() // Close on a sequential forest is a no-op
+}
