@@ -379,10 +379,19 @@ func BenchmarkE12BatchKernels(b *testing.B) {
 	}
 }
 
-// BenchmarkE13BatchUpdates — end-to-end InsertEdges wall time per edge
-// across worker counts. The sort kernel scales with workers while the
-// structural application stays sequential, so this reports the Amdahl
-// ceiling of the current batch path, not the kernel speedup (see E12).
+// BenchmarkE13BatchUpdates — wall time of the staged batch-application
+// pipeline across worker counts, two scenarios. "build" is the end-to-end
+// public path: InsertEdges of a random sparse graph into an empty forest
+// (sort scales, slot/ring maintenance is sequential, CAdj effects flush
+// once per batch). "nontree" drives the core pipeline with batches of
+// independent non-tree updates (core.LoadNontreeScenario — the same
+// scenario the E13 experiment and BENCH_batch.json measure): delete all
+// non-tree edges, reinsert them, with the per-chunk-pair group scans and
+// the aggregate flush fanned across the pool. speedup-vs-1w divides the
+// workers=1 sub-benchmark's per-round time (measured with this identical
+// protocol) by this configuration's, so it reads exactly 1.0 at workers=1
+// and is capped by min(workers, cores) (gomaxprocs metric); it is reported
+// only when the workers=1 sub-benchmark ran first.
 func BenchmarkE13BatchUpdates(b *testing.B) {
 	const n = 1 << 12
 	base := workload.RandomSparse(n, 2*n, 77)
@@ -391,7 +400,7 @@ func BenchmarkE13BatchUpdates(b *testing.B) {
 		edges[i] = Edge{e.U, e.V, e.W}
 	}
 	for _, w := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+		b.Run(fmt.Sprintf("build/workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				f := New(n, Options{MaxEdges: 4 * n, Workers: w})
@@ -404,6 +413,31 @@ func BenchmarkE13BatchUpdates(b *testing.B) {
 				b.StartTimer()
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(edges)), "ns/edge")
+		})
+	}
+
+	const nn = 1 << 14
+	baseNS := 0.0
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("nontree/workers=%d", w), func(b *testing.B) {
+			mach := pram.NewParallel(w)
+			defer mach.Close()
+			m := core.NewMSF(nn, core.Config{}, core.PRAMCharger{M: mach})
+			del, ins := core.LoadNontreeScenario(m, nn)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.ApplyBatch(del)
+				m.ApplyBatch(ins)
+			}
+			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if w == 1 {
+				baseNS = perOp
+			}
+			b.ReportMetric(perOp/float64(2*len(del)), "ns/edge")
+			if baseNS > 0 {
+				b.ReportMetric(baseNS/perOp, "speedup-vs-1w")
+			}
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 		})
 	}
 }

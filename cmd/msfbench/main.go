@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	msfbench                 # run every experiment at quick scale
-//	msfbench -exp E1,E4      # selected experiments
-//	msfbench -full           # paper-scale sizes (slower)
+//	msfbench                                # run every experiment at quick scale
+//	msfbench -exp E1,E4                     # selected experiments
+//	msfbench -full                          # paper-scale sizes (slower)
+//	msfbench -exp none -batchjson FILE      # machine-readable batch report only
 package main
 
 import (
@@ -20,8 +21,9 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E12) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E13), 'all', or 'none'")
 	full := flag.Bool("full", false, "paper-scale sizes")
+	batchJSON := flag.String("batchjson", "", "write the E12/E13 batch measurements as JSON to this path (BENCH_batch.json)")
 	flag.Parse()
 
 	scale := experiments.Quick
@@ -30,9 +32,11 @@ func main() {
 	}
 
 	var ids []string
-	if *expFlag == "all" {
+	switch strings.ToLower(strings.TrimSpace(*expFlag)) {
+	case "all":
 		ids = experiments.Order
-	} else {
+	case "none":
+	default:
 		for _, id := range strings.Split(*expFlag, ",") {
 			id = strings.TrimSpace(strings.ToUpper(id))
 			if _, ok := experiments.Registry[id]; !ok {
@@ -44,10 +48,19 @@ func main() {
 		}
 	}
 
-	fmt.Printf("# parmsf experiment tables (%s scale)\n\n", map[bool]string{false: "quick", true: "full"}[*full])
+	if len(ids) > 0 {
+		fmt.Printf("# parmsf experiment tables (%s scale)\n\n", map[bool]string{false: "quick", true: "full"}[*full])
+	}
 	for _, id := range ids {
 		start := time.Now()
 		experiments.Registry[id](os.Stdout, scale)
 		fmt.Printf("[%s finished in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if *batchJSON != "" {
+		if err := experiments.WriteBatchJSON(*batchJSON, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "msfbench: writing %s: %v\n", *batchJSON, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote batch measurements to %s\n", *batchJSON)
 	}
 }

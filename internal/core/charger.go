@@ -27,6 +27,19 @@ type Charger interface {
 	// worker pool, when the machine is a pram.NewParallel one. Kernels
 	// must be EREW-clean: distinct p write distinct cells.
 	ParDo(width int, f func(p int))
+	// Apply executes width independent tasks on the executor WITHOUT
+	// charging: it is the application half of a kernel whose model cost
+	// the caller charges separately through Par/Climb (so the charged
+	// shape follows the lemma, not the goroutine schedule). Tasks must
+	// write disjoint cells and their combined result must not depend on
+	// execution order.
+	Apply(width int, f func(p int))
+	// Shard executes f over contiguous subranges covering [0, n), also
+	// uncharged: the range-shaped variant of Apply for entrywise vector
+	// loops (row clears, column pushes, gamma builds). The partition
+	// follows the worker count, so results must be partition-independent
+	// (disjoint writes per index).
+	Shard(n int, f func(lo, hi int))
 	// Machine returns the underlying PRAM, or nil for sequential execution.
 	Machine() *pram.Machine
 }
@@ -47,6 +60,20 @@ func (SeqCharger) Climb(int) {}
 func (SeqCharger) ParDo(width int, f func(p int)) {
 	for p := 0; p < width; p++ {
 		f(p)
+	}
+}
+
+// Apply implements Charger.
+func (SeqCharger) Apply(width int, f func(p int)) {
+	for p := 0; p < width; p++ {
+		f(p)
+	}
+}
+
+// Shard implements Charger.
+func (SeqCharger) Shard(n int, f func(lo, hi int)) {
+	if n > 0 {
+		f(0, n)
 	}
 }
 
@@ -74,6 +101,12 @@ func (c PRAMCharger) Climb(width int) {
 
 // ParDo implements Charger.
 func (c PRAMCharger) ParDo(width int, f func(p int)) { c.M.Step(width, f) }
+
+// Apply implements Charger.
+func (c PRAMCharger) Apply(width int, f func(p int)) { c.M.Run(width, f) }
+
+// Shard implements Charger.
+func (c PRAMCharger) Shard(n int, f func(lo, hi int)) { c.M.RunRanges(n, f) }
 
 // Machine implements Charger.
 func (c PRAMCharger) Machine() *pram.Machine { return c.M }

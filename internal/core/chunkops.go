@@ -120,11 +120,14 @@ func (st *Store) mergeInto(left, right *Chunk) {
 	case left.id >= 0 && right.id >= 0:
 		li, ri := int(left.id), int(right.id)
 		lrow, rrow := st.row(left.id), st.row(right.id)
-		for j := range lrow {
-			if rrow[j] < lrow[j] {
-				lrow[j] = rrow[j]
+		st.ch.Par(1, st.J)
+		st.ch.Shard(st.J, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				if rrow[j] < lrow[j] {
+					lrow[j] = rrow[j]
+				}
 			}
-		}
+		})
 		// Edges between the two pieces (and inside right) are now intra-
 		// chunk: fold their entries into the diagonal, then retire right's
 		// slots.
@@ -134,23 +137,27 @@ func (st *Store) mergeInto(left, right *Chunk) {
 		}
 		lrow[li] = diag
 		lrow[ri] = Inf
-		for i := range rrow {
-			rrow[i] = Inf
-		}
-		st.ch.Par(1, st.J)
+		st.ch.Shard(st.J, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				rrow[i] = Inf
+			}
+		})
 		// Columns: other chunks now see the union under left's id.
-		for j, oc := range st.chunks {
-			if oc == nil || oc == left || oc == right {
-				continue
-			}
-			lcell := &st.C[j*st.J+li]
-			rcell := &st.C[j*st.J+ri]
-			if *rcell < *lcell {
-				*lcell = *rcell
-			}
-			*rcell = Inf
-		}
 		st.ch.Par(1, st.J)
+		st.ch.Shard(st.J, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				oc := st.chunks[j]
+				if oc == nil || oc == left || oc == right {
+					continue
+				}
+				lcell := &st.C[j*st.J+li]
+				rcell := &st.C[j*st.J+ri]
+				if *rcell < *lcell {
+					*lcell = *rcell
+				}
+				*rcell = Inf
+			}
+		})
 		rid := right.id
 		st.freeID(right)
 		st.sweepColumn(left.id)

@@ -69,11 +69,25 @@ func (m *MSF) ForestEdges(f func(u, v int, w Weight) bool) {
 var ErrWeight = errors.New("core: weight must be below Inf")
 
 // InsertEdge adds edge (u, v) with weight w, updating the forest (Section
-// 2.6 / 3.4 insertion).
+// 2.6 / 3.4 insertion). It is a one-element batch of the staged pipeline
+// in plan.go.
 func (m *MSF) InsertEdge(u, v int, w Weight) error {
-	if w == Inf {
-		return ErrWeight
-	}
+	return m.ApplyBatch([]BatchOp{{U: u, V: v, W: w}})[0]
+}
+
+// DeleteEdge removes edge (u, v), finding a replacement when a tree edge is
+// deleted (Section 2.6 / 3.4 deletion). It is a one-element batch of the
+// staged pipeline in plan.go.
+func (m *MSF) DeleteEdge(u, v int) error {
+	return m.ApplyBatch([]BatchOp{{Del: true, U: u, V: v}})[0]
+}
+
+// applyInsert applies one planned insertion (the weight was validated by
+// the classify stage). The CAdj entry update defers its aggregate
+// refreshes to the batch flush; the structural forest update — dynamic-tree
+// link or cycle swap — flushes first when it needs surgery, because surgery
+// reads the Memb aggregates.
+func (m *MSF) applyInsert(u, v int, w Weight) error {
 	e, err := m.st.g.Insert(u, v, w)
 	if err != nil {
 		return err
@@ -102,28 +116,26 @@ func (m *MSF) InsertEdge(u, v int, w Weight) error {
 		if old == nil || !old.Tree {
 			panic("core: path-max edge not a tree edge")
 		}
+		st.flushCAdj() // cycle-swap surgery reads Memb aggregates
 		m.removeFromForest(old)
 		m.becomeTree(e)
 	}
 	return nil
 }
 
-// DeleteEdge removes edge (u, v), finding a replacement when a tree edge is
-// deleted (Section 2.6 / 3.4 deletion).
-func (m *MSF) DeleteEdge(u, v int) error {
+// deleteTreeEdge applies one planned tree-edge deletion: cut, surgery, and
+// the parallel replacement search. The edge was classified as a live tree
+// edge; the plan guarantees that remains true when it applies.
+func (m *MSF) deleteTreeEdge(u, v int) {
 	st := m.st
 	e := st.g.Find(u, v)
-	if e == nil {
-		return ErrNotFound
+	if e == nil || !e.Tree {
+		panic("core: planned tree deletion is not a live tree edge")
 	}
-	wasTree := e.Tree
 	eid := e.ID
-	var occA, occB *Copy
-	if wasTree {
-		occA, occB = st.occU[eid], st.occV[eid]
-	}
+	occA, occB := st.occU[eid], st.occV[eid]
 	if _, err := st.g.Delete(u, v); err != nil {
-		return err
+		panic("core: tree deletion failed: " + err.Error())
 	}
 
 	pu, pv := st.pcs[u], st.pcs[v]
@@ -132,11 +144,6 @@ func (m *MSF) DeleteEdge(u, v int) error {
 		st.bumpCharge(pv, -1)
 	}
 	st.recomputeEntryPair(pu.chunk, pv.chunk)
-
-	if !wasTree {
-		st.normalize([]*Chunk{pu.chunk, pv.chunk})
-		return nil
-	}
 
 	st.ch.Seq(log2ceil(st.n + 1)) // dynamic-tree cut
 	m.lf.Cut(m.lctE[eid])
@@ -147,6 +154,7 @@ func (m *MSF) DeleteEdge(u, v int) error {
 		m.Events(u, v, e.W, false)
 	}
 
+	st.flushCAdj() // surgery and MWR read the LSDS aggregates
 	t1, t2, dirty := st.cutTours(e, occA, occB)
 	// Re-read the principal copies: surgery may have deleted the old ones.
 	dirty = append(dirty, st.pcs[u].chunk, st.pcs[v].chunk)
@@ -157,7 +165,6 @@ func (m *MSF) DeleteEdge(u, v int) error {
 	if r := st.MWR(t1, t2); r != nil {
 		m.becomeTree(r)
 	}
-	return nil
 }
 
 // becomeTree promotes graph edge e to a forest edge: dynamic-tree link plus

@@ -1,0 +1,96 @@
+package core
+
+// This file implements the deferred half of UpdateAdj used by the batch
+// pipeline (plan.go). Non-tree updates change only O(1) CAdj matrix entries
+// plus the LSDS aggregates above the touched chunks; the matrix entries are
+// cheap and written eagerly, while the O(J)-per-node aggregate refreshes are
+// deferred: touched chunks are marked dirty and their ancestor paths are
+// recomputed once per batch, deduplicated and level-parallel (all marked
+// nodes at one tree depth recompute in a single round, Lemma 3.2 batched).
+//
+// Staleness discipline: between a mark and its flush, an internal LSDS node
+// may hold a stale aggregate only while a dirty chunk leaf remains strictly
+// below it (leaf rows themselves are always current). Structural operations
+// preserve this: splits, merges and rebuilds recompute the paths they touch
+// from current children, so any remaining staleness stays pinned under a
+// still-marked leaf. Every reader of aggregates — MWR's gamma scan and the
+// Memb tests during surgery — is preceded by a flush.
+
+// markCAdjDirty records that chunk c's CAdj row (or an entry of it) changed
+// and its LSDS ancestor path needs a refresh before the next aggregate read.
+func (st *Store) markCAdjDirty(c *Chunk) {
+	if c == nil {
+		return
+	}
+	if st.pendMark == nil {
+		st.pendMark = make(map[*Chunk]bool)
+	}
+	if st.pendMark[c] {
+		return
+	}
+	st.pendMark[c] = true
+	st.pendDirty = append(st.pendDirty, c)
+}
+
+// flushCAdj recomputes the LSDS aggregates above every dirty chunk: the
+// union of the dirty ancestor paths is refreshed bottom-up, one parallel
+// round per tree depth (each round charges the Lemma 3.2 shape — J
+// processors per node — and executes across the worker pool; nodes at one
+// depth have disjoint aggregates, so the kernel is EREW-clean).
+func (st *Store) flushCAdj() {
+	if len(st.pendDirty) == 0 {
+		return
+	}
+	dirty := st.pendDirty
+	st.pendDirty = st.pendDirty[:0]
+	for c := range st.pendMark {
+		delete(st.pendMark, c)
+	}
+
+	// Collect the union of ancestor paths with each node's depth from its
+	// root. Walks stop at the first already-collected node, so every node
+	// is visited once; order stays deterministic (mark order, leaf to root).
+	depth := make(map[*lsNode]int, 4*len(dirty))
+	var nodes []*lsNode
+	maxDepth := 0
+	for _, c := range dirty {
+		if c.bt == nil || c.leaf == nil {
+			continue // chunk died; its staleness was cleaned by the merge
+		}
+		var path []*lsNode
+		stopDepth := -1
+		for nd := c.leaf.Parent(); nd != nil; nd = nd.Parent() {
+			if d, seen := depth[nd]; seen {
+				stopDepth = d
+				break
+			}
+			path = append(path, nd)
+		}
+		d := stopDepth
+		for i := len(path) - 1; i >= 0; i-- {
+			d++
+			depth[path[i]] = d
+			nodes = append(nodes, path[i])
+			if d > maxDepth {
+				maxDepth = d
+			}
+		}
+	}
+	if len(nodes) == 0 {
+		return
+	}
+
+	buckets := make([][]*lsNode, maxDepth+1)
+	for _, nd := range nodes {
+		buckets[depth[nd]] = append(buckets[depth[nd]], nd)
+	}
+	for d := maxDepth; d >= 0; d-- {
+		b := buckets[d]
+		if len(b) == 0 {
+			continue
+		}
+		// One round of J processors per node (the batched UpdateAdj climb).
+		st.ch.Par(1, len(b)*st.J)
+		st.ch.Apply(len(b), func(i int) { st.recomputeVec(b[i]) })
+	}
+}

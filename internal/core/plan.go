@@ -1,0 +1,281 @@
+package core
+
+import (
+	"parmsf/internal/graph"
+	"parmsf/internal/workload"
+)
+
+// This file implements the staged batch-application pipeline of the update
+// engine: classify -> shard -> apply. A batch of edge updates is first
+// classified by a data-parallel kernel (one processor per item, read-only
+// lookups), then partitioned into a plan — non-tree deletions, tree
+// deletions, insertions — and applied in plan order. Non-tree deletions
+// form independent per-chunk-pair groups whose CAdj recomputation scans run
+// concurrently on the worker pool; tree deletions run their replacement
+// search through the parallel MWR; insertions apply in batch order with
+// their aggregate refreshes deferred to a single level-parallel flush
+// (flush.go). The single-edge InsertEdge/DeleteEdge entry points of
+// engine.go are thin wrappers over one-element batches of this pipeline.
+
+// BatchOp is one edge update in a batch: an insertion of (U, V) with weight
+// W, or — when Del is set — a deletion of edge (U, V).
+type BatchOp struct {
+	Del  bool
+	U, V int
+	W    Weight
+}
+
+// opClass is the planner's classification of a batch element against the
+// pre-batch state.
+type opClass uint8
+
+const (
+	opInsert opClass = iota
+	opDelNonTree
+	opDelTree
+	opDelMissing
+	opBadWeight
+)
+
+// Plan is the partition of a classified batch into application stages, in
+// the order they apply. Deleting non-tree edges first is the batch delete
+// ordering heuristic: a non-tree edge can never be promoted to a tree edge
+// by another deletion's replacement search, so replacement searches never
+// pick an edge the same batch is about to remove.
+type Plan struct {
+	NonTreeDel []int // indices of deletions of live non-tree edges
+	TreeDel    []int // indices of deletions of tree edges (surgery + MWR)
+	Inserts    []int // indices of insertions, in batch order
+}
+
+// classifyOp classifies one batch element against the current state:
+// read-only lookups, shared by the batch classify kernel and the
+// one-element fast path so the two can never drift.
+func (st *Store) classifyOp(op BatchOp) opClass {
+	if op.Del {
+		switch e := st.g.Find(op.U, op.V); {
+		case e == nil:
+			return opDelMissing
+		case e.Tree:
+			return opDelTree
+		default:
+			return opDelNonTree
+		}
+	}
+	if op.W == Inf {
+		return opBadWeight
+	}
+	return opInsert
+}
+
+// planBatch runs the classify stage: a one-round kernel with one processor
+// per item (read-only graph lookups, each writing its own class slot),
+// followed by a host pass that resolves duplicate deletions (the first
+// occurrence wins, as under sequential application) and records the errors
+// of inapplicable items.
+func (m *MSF) planBatch(ops []BatchOp, errs []error) Plan {
+	st := m.st
+	cls := make([]opClass, len(ops))
+	dels := 0
+	st.ch.ParDo(len(ops), func(i int) {
+		cls[i] = st.classifyOp(ops[i])
+	})
+	for _, op := range ops {
+		if op.Del {
+			dels++
+		}
+	}
+	if dels > 1 {
+		seen := make(map[[2]int]bool, dels)
+		for i, op := range ops {
+			if !op.Del || cls[i] == opDelMissing {
+				continue
+			}
+			k := [2]int{op.U, op.V}
+			if k[0] > k[1] {
+				k[0], k[1] = k[1], k[0]
+			}
+			if seen[k] {
+				cls[i] = opDelMissing
+			} else {
+				seen[k] = true
+			}
+		}
+	}
+
+	var p Plan
+	for i := range ops {
+		switch cls[i] {
+		case opDelNonTree:
+			p.NonTreeDel = append(p.NonTreeDel, i)
+		case opDelTree:
+			p.TreeDel = append(p.TreeDel, i)
+		case opInsert:
+			p.Inserts = append(p.Inserts, i)
+		case opDelMissing:
+			errs[i] = ErrNotFound
+		case opBadWeight:
+			errs[i] = ErrWeight
+		}
+	}
+	return p
+}
+
+// ApplyBatch applies a batch of edge updates through the staged pipeline
+// and returns one error slot per item (nil on success). Application order
+// is the plan order — non-tree deletions, tree deletions, then insertions,
+// each stage in batch order — independent of the charger backend and of the
+// worker count, so the resulting forest and the PRAM cost counters are
+// identical for every execution configuration.
+func (m *MSF) ApplyBatch(ops []BatchOp) []error {
+	errs := make([]error, len(ops))
+	if len(ops) == 0 {
+		return errs
+	}
+	if len(ops) == 1 {
+		errs[0] = m.applyOne(ops[0])
+		return errs
+	}
+	p := m.planBatch(ops, errs)
+	m.applyNonTreeDeletes(p.NonTreeDel, ops)
+	for _, i := range p.TreeDel {
+		m.deleteTreeEdge(ops[i].U, ops[i].V)
+	}
+	for _, i := range p.Inserts {
+		errs[i] = m.applyInsert(ops[i].U, ops[i].V, ops[i].W)
+	}
+	m.st.flushCAdj()
+	return errs
+}
+
+// applyOne is the one-element fast path of ApplyBatch: identical stages,
+// identical application order and identical charges (a width-1 classify
+// round, then the planned apply and the flush) without the batch
+// bookkeeping allocations — this is the path behind the single-edge
+// InsertEdge/DeleteEdge wrappers, which the ternary gadget drives once or
+// more per public update.
+func (m *MSF) applyOne(op BatchOp) error {
+	st := m.st
+	var cls opClass
+	st.ch.ParDo(1, func(int) { cls = st.classifyOp(op) })
+	switch cls {
+	case opDelMissing:
+		return ErrNotFound
+	case opBadWeight:
+		return ErrWeight
+	case opDelTree:
+		m.deleteTreeEdge(op.U, op.V)
+		st.flushCAdj()
+		return nil
+	case opDelNonTree:
+		m.deleteNonTreeEdge(op.U, op.V)
+		st.flushCAdj()
+		return nil
+	}
+	err := m.applyInsert(op.U, op.V, op.W)
+	st.flushCAdj()
+	return err
+}
+
+// deleteNonTreeEdge applies a single planned non-tree deletion: the
+// one-group degenerate case of applyNonTreeDeletes, with the entry-pair
+// scan charged identically (recomputeEntryPair carries the same Par/Climb
+// shape the group stage charges per pair).
+func (m *MSF) deleteNonTreeEdge(u, v int) {
+	st := m.st
+	if _, err := st.g.Delete(u, v); err != nil {
+		panic("core: planned non-tree deletion vanished: " + err.Error())
+	}
+	pu, pv := st.pcs[u], st.pcs[v]
+	st.bumpCharge(pu, -1)
+	if pv != pu {
+		st.bumpCharge(pv, -1)
+	}
+	st.recomputeEntryPair(pu.chunk, pv.chunk)
+	st.normalize([]*Chunk{pu.chunk, pv.chunk})
+}
+
+// LoadNontreeScenario populates m — a freshly created engine over n
+// vertices — with the deterministic degree-3 workload of the E13 batch
+// scenario and returns the two batches of independent non-tree updates:
+// delete every non-tree edge, then reinsert it. Shared by the E13
+// benchmark, the E13 experiment table and the BENCH_batch.json report so
+// all three measure the same scenario.
+func LoadNontreeScenario(m *MSF, n int) (del, ins []BatchOp) {
+	for _, e := range workload.DegreeBounded(n, n*5/4, 3, uint64(n)+13) {
+		if err := m.InsertEdge(e.U, e.V, e.W); err != nil {
+			panic(err)
+		}
+	}
+	m.Graph().Edges(func(e *graph.Edge) bool {
+		if !e.Tree {
+			del = append(del, BatchOp{Del: true, U: int(e.U), V: int(e.V)})
+			ins = append(ins, BatchOp{U: int(e.U), V: int(e.V), W: e.W})
+		}
+		return true
+	})
+	return del, ins
+}
+
+// entryPair is one independent group of the shard stage: the symmetric CAdj
+// entry pair (a, b) whose minimum must be recomputed after the group's
+// deletions. Distinct pairs write disjoint matrix cells, so all groups
+// apply concurrently.
+type entryPair struct{ a, b *Chunk }
+
+// applyNonTreeDeletes applies the planned non-tree deletions as one sharded
+// group. Phase 1 (host): graph deletions and chunk charge bookkeeping, in
+// plan order. Phase 2 (shard/apply): deduplicate the touched chunk pairs
+// and recompute each pair's CAdj entry by a charged-edge scan — one task
+// per pair, fanned across the worker pool, each writing only its own
+// symmetric entry pair. Phase 3 (host): restore Invariant 1 for the touched
+// chunks; the aggregate refreshes above them are deferred to the batch
+// flush.
+func (m *MSF) applyNonTreeDeletes(idx []int, ops []BatchOp) {
+	if len(idx) == 0 {
+		return
+	}
+	st := m.st
+	var pairs []entryPair
+	var touched []*Chunk
+	seen := make(map[[2]int32]bool, len(idx))
+	for _, i := range idx {
+		op := ops[i]
+		if _, err := st.g.Delete(op.U, op.V); err != nil {
+			panic("core: planned non-tree deletion vanished: " + err.Error())
+		}
+		pu, pv := st.pcs[op.U], st.pcs[op.V]
+		st.bumpCharge(pu, -1)
+		if pv != pu {
+			st.bumpCharge(pv, -1)
+		}
+		c1, c2 := pu.chunk, pv.chunk
+		touched = append(touched, c1, c2)
+		if c1.id < 0 || c2.id < 0 {
+			continue // entries of unregistered chunks are not recorded
+		}
+		k := [2]int32{c1.id, c2.id}
+		if k[0] > k[1] {
+			k[0], k[1] = k[1], k[0]
+		}
+		if !seen[k] {
+			seen[k] = true
+			pairs = append(pairs, entryPair{c1, c2})
+		}
+	}
+
+	// Model cost of the scans (Section 2.6 deletion, one per group), then
+	// the uncharged kernels across the pool — the same charge shape and
+	// scan recomputeEntryPair uses on the single-edge path.
+	for _, p := range pairs {
+		st.chargeEntryPairScan(p.a)
+	}
+	st.ch.Apply(len(pairs), func(t int) {
+		st.scanEntryPair(pairs[t].a, pairs[t].b)
+	})
+	for _, p := range pairs {
+		st.markCAdjDirty(p.a)
+		st.markCAdjDirty(p.b)
+	}
+	st.normalize(touched)
+}

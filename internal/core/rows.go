@@ -44,10 +44,12 @@ func (st *Store) rebuildRow(c *Chunk) {
 	st.sts.RowRebuilds++
 	c.rowStale = false
 	row := st.row(c.id)
-	for i := range row {
-		row[i] = Inf
-	}
 	st.ch.Par(1, st.J) // parallel row clear: one round, J processors
+	st.ch.Shard(st.J, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row[i] = Inf
+		}
+	})
 
 	if k := st.kernels(); k != nil {
 		// Section 3.1: assign a processor per charged edge via getEdge
@@ -86,22 +88,26 @@ func (st *Store) rebuildRow(c *Chunk) {
 // over the same edge set).
 func (st *Store) pushColumn(c *Chunk) {
 	row := st.row(c.id)
-	for j, oc := range st.chunks {
-		if oc != nil {
-			st.C[j*st.J+int(c.id)] = row[j]
-		}
-	}
 	st.ch.Par(1, st.J)
+	st.ch.Shard(st.J, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			if st.chunks[j] != nil {
+				st.C[j*st.J+int(c.id)] = row[j]
+			}
+		}
+	})
 }
 
 // clearColumn sets column id to Inf in every registered row.
 func (st *Store) clearColumn(id int32) {
-	for j, oc := range st.chunks {
-		if oc != nil {
-			st.C[j*st.J+int(id)] = Inf
-		}
-	}
 	st.ch.Par(1, st.J)
+	st.ch.Shard(st.J, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			if st.chunks[j] != nil {
+				st.C[j*st.J+int(id)] = Inf
+			}
+		}
+	})
 }
 
 // sweepColumn recomputes entry id of every internal LSDS node in every
@@ -197,7 +203,8 @@ func (st *Store) unregisterChunk(c *Chunk) {
 }
 
 // noteEdgeEntryInserted records a new graph edge in the matrix: a min-update
-// of the symmetric entry pair plus path refreshes (Section 2.6, insertion).
+// of the symmetric entry pair (Section 2.6, insertion). The aggregate
+// refreshes above the touched chunks are deferred to the batch flush.
 func (st *Store) noteEdgeEntryInserted(e *graph.Edge) {
 	c1 := st.pcs[e.U].chunk
 	c2 := st.pcs[e.V].chunk
@@ -209,40 +216,54 @@ func (st *Store) noteEdgeEntryInserted(e *graph.Edge) {
 		if e.W < st.C[int(c2.id)*st.J+int(c1.id)] {
 			st.C[int(c2.id)*st.J+int(c1.id)] = e.W
 		}
-		st.refreshPath(c1)
+		st.markCAdjDirty(c1)
 		if c2 != c1 {
-			st.refreshPath(c2)
+			st.markCAdjDirty(c2)
 		}
 	}
 }
 
 // recomputeEntryPair recomputes the symmetric entry pair (c1, c2) by
 // scanning c1's charged edges (Section 2.6, deletion: O(K) sequentially,
-// a tournament in parallel).
+// a tournament in parallel). The aggregate refreshes above the pair are
+// deferred to the batch flush.
 func (st *Store) recomputeEntryPair(c1, c2 *Chunk) {
 	if c1.id < 0 || c2.id < 0 {
 		return
 	}
+	st.chargeEntryPairScan(c1)
+	st.scanEntryPair(c1, c2)
+	st.markCAdjDirty(c1)
+	if c2 != c1 {
+		st.markCAdjDirty(c2)
+	}
+}
+
+// chargeEntryPairScan charges the model cost of one entry-pair scan (the
+// getEdge assignment over c1's BTc plus the tournament climb). Shared by
+// the single-edge path and the batch group stage so both charge the exact
+// same shape — the counter-parity invariant depends on it.
+func (st *Store) chargeEntryPairScan(c1 *Chunk) {
 	st.ch.Par(btHeight(c1)+3, c1.edgeCount())
 	st.ch.Climb(c1.edgeCount() + 1)
+}
+
+// scanEntryPair is the uncharged kernel of recomputeEntryPair: scan c1's
+// charged edges for the minimum to c2 and write the symmetric entry pair
+// (the diagonal once when c1 == c2 — an intra-chunk pair's edges are all
+// charged to c1, so one scan sees them). It writes only the pair's cells,
+// so scans of distinct pairs run concurrently (the batch group stage).
+func (st *Store) scanEntryPair(c1, c2 *Chunk) {
 	w := Inf
 	st.forEachChargedEdge(c1, func(cp *Copy, e *graph.Edge) {
 		if st.otherChunk(e, cp.v) == c2 && e.W < w {
 			w = e.W
 		}
 	})
-	if c1 == c2 {
-		// Intra-chunk pair: also count edges charged only via the other
-		// endpoint (both principals are in c1, so the scan above already
-		// saw them; nothing more to do).
-		st.C[int(c1.id)*st.J+int(c1.id)] = w
-		st.refreshPath(c1)
-		return
-	}
 	st.C[int(c1.id)*st.J+int(c2.id)] = w
-	st.C[int(c2.id)*st.J+int(c1.id)] = w
-	st.refreshPath(c1)
-	st.refreshPath(c2)
+	if c2 != c1 {
+		st.C[int(c2.id)*st.J+int(c1.id)] = w
+	}
 }
 
 // btHeight returns the height of c's BTc.

@@ -85,6 +85,13 @@ type Store struct {
 	lsTouches int // internal LSDS vector recomputations (for charging)
 	btTouches int // BTc nodes touched (for charging)
 	gamma     []Weight
+
+	// Deferred UpdateAdj state of the batch pipeline (flush.go): chunks
+	// whose CAdj entries changed since the last aggregate flush.
+	pendDirty []*Chunk
+	pendMark  map[*Chunk]bool
+
+	mwrCands []mwrCand // scratch for the sharded MWR chunk scan
 }
 
 // NewStore builds the structure for graph g (which must be empty: edges are
@@ -160,11 +167,19 @@ func (st *Store) Params() (int, int) { return st.K, st.J }
 // row returns registered chunk id's CAdj row.
 func (st *Store) row(id int32) []Weight { return st.C[int(id)*st.J : (int(id)+1)*st.J] }
 
-// lsUpdate recomputes an internal LSDS node's vectors as the entrywise min /
-// OR of its children (Section 2.2). Cost O(J); charged by the caller per
-// Lemma 2.3 / 3.2.
+// lsUpdate recomputes an internal LSDS node's vectors, counting the touch
+// for the caller's Lemma 2.3 / 3.2 charge.
 func (st *Store) lsUpdate(nd *lsNode) {
 	st.lsTouches++
+	st.recomputeVec(nd)
+}
+
+// recomputeVec recomputes an internal LSDS node's vectors as the entrywise
+// min / OR of its children (Section 2.2). Cost O(J). It is the uncounted
+// kernel shared by the structural Update hook (host) and the batch flush
+// (worker pool), so it touches no Store counters and only writes nd's own
+// aggregate.
+func (st *Store) recomputeVec(nd *lsNode) {
 	v := nd.Agg
 	l, r := nd.Left(), nd.Right()
 	lc, lm := st.childVecs(l)

@@ -1,88 +1,234 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"time"
 
 	"parmsf"
 	"parmsf/internal/batch"
+	"parmsf/internal/core"
 	"parmsf/internal/pram"
 	"parmsf/internal/stats"
 	"parmsf/internal/workload"
 	"parmsf/internal/xrand"
 )
 
-// E12BatchExecutor — real-concurrency backend: wall-clock scaling of the
-// goroutine worker-pool executor on the batch kernels behind
-// parmsf.InsertEdges. Every other experiment reports simulated depth/work;
-// this one reports measured nanoseconds across worker counts. The sort
-// kernel is the parallelizable stage; structural application is sequential,
-// so the end-to-end column shows the Amdahl ceiling of the current batch
-// path. Attainable speedup is capped by GOMAXPROCS.
-func E12BatchExecutor(w io.Writer, sc Scale) {
-	sortSize := 1 << 18
-	n := 1 << 10
+// The batch measurements are shared by three consumers — the E12/E13 tables
+// and the machine-readable BENCH_batch.json report — through the helpers
+// below, so the human-readable and committed records can never measure
+// different protocols.
+
+// batchSizes are the per-scale problem sizes of the batch measurements.
+type batchSizes struct {
+	sortItems int // items in the E12 sort-kernel measurement
+	insertN   int // vertices of the end-to-end InsertEdges measurement
+	nontreeN  int // vertices of the E13 non-tree pipeline scenario
+	name      string
+}
+
+func batchSizesFor(sc Scale) batchSizes {
 	switch sc {
 	case Full:
-		sortSize = 1 << 20
-		n = 1 << 12
+		return batchSizes{1 << 20, 1 << 12, 1 << 14, "full"}
 	case Tiny:
-		sortSize = 1 << 14
-		n = 256
+		return batchSizes{1 << 14, 256, 1 << 9, "tiny"}
 	}
-	tb := stats.NewTable(
-		fmt.Sprintf("E12 — goroutine executor: batch kernel wall time (%d-item sort, n=%d batch insert, GOMAXPROCS=%d)",
-			sortSize, n, runtime.GOMAXPROCS(0)),
-		"workers", "sort ms", "sort speedup", "insert ns/edge", "insert speedup")
+	return batchSizes{1 << 18, 1 << 10, 1 << 12, "quick"}
+}
 
-	src := make([]batch.Item, sortSize)
+// mkSortItems builds the deterministic shuffled input of the sort-kernel
+// measurement.
+func mkSortItems(size int) []batch.Item {
+	src := make([]batch.Item, size)
 	rng := xrand.New(321)
 	for i := range src {
 		src[i] = batch.Item{Key: int64(rng.Intn(1 << 30)), A: i, B: i, Idx: i}
 	}
-	work := make([]batch.Item, sortSize)
+	return src
+}
+
+// mkInsertEdges builds the deterministic edge batch of the end-to-end
+// InsertEdges measurement.
+func mkInsertEdges(n int) []parmsf.Edge {
 	base := workload.RandomSparse(n, 2*n, uint64(n)+61)
 	edges := make([]parmsf.Edge, len(base))
 	for i, e := range base {
 		edges[i] = parmsf.Edge{U: e.U, V: e.V, W: e.W}
 	}
+	return edges
+}
 
-	timeSort := func(workers int) float64 {
-		m := pram.NewParallel(workers)
-		defer m.Close()
-		best := -1.0
-		for r := 0; r < 3; r++ {
-			copy(work, src)
-			t0 := time.Now()
-			batch.Sort(m, work)
-			if ns := float64(time.Since(t0).Nanoseconds()); best < 0 || ns < best {
-				best = ns
-			}
-		}
-		return best
-	}
-	timeInsert := func(workers int) float64 {
-		f := parmsf.New(n, parmsf.Options{MaxEdges: 4 * n, Workers: workers})
-		defer f.Close()
+// timeSortKernel measures one parallel merge sort of src (best of three,
+// nanoseconds); work is a reusable scratch slice of the same length.
+func timeSortKernel(src, work []batch.Item, workers int) float64 {
+	m := pram.NewParallel(workers)
+	defer m.Close()
+	best := -1.0
+	for r := 0; r < 3; r++ {
+		copy(work, src)
 		t0 := time.Now()
-		if errs := f.InsertEdges(edges); errs != nil {
-			panic(fmt.Sprintf("experiments: batch insert errors: %v", errs))
+		batch.Sort(m, work)
+		if ns := float64(time.Since(t0).Nanoseconds()); best < 0 || ns < best {
+			best = ns
 		}
-		return float64(time.Since(t0).Nanoseconds()) / float64(len(edges))
 	}
+	return best
+}
+
+// timeBatchInsert measures one end-to-end InsertEdges of the batch into an
+// empty forest (nanoseconds per edge).
+func timeBatchInsert(n int, edges []parmsf.Edge, workers int) float64 {
+	f := parmsf.New(n, parmsf.Options{MaxEdges: 4 * n, Workers: workers})
+	defer f.Close()
+	t0 := time.Now()
+	if errs := f.InsertEdges(edges); errs != nil {
+		panic(fmt.Sprintf("experiments: batch insert errors: %v", errs))
+	}
+	return float64(time.Since(t0).Nanoseconds()) / float64(len(edges))
+}
+
+// timeNontree measures one delete-all/reinsert-all round of the independent
+// non-tree update scenario through the staged pipeline (best of three,
+// nanoseconds per edge update).
+func timeNontree(n, workers int) float64 {
+	mach := pram.NewParallel(workers)
+	defer mach.Close()
+	m := core.NewMSF(n, core.Config{}, core.PRAMCharger{M: mach})
+	del, ins := core.LoadNontreeScenario(m, n)
+	best := -1.0
+	for r := 0; r < 3; r++ {
+		t0 := time.Now()
+		m.ApplyBatch(del)
+		m.ApplyBatch(ins)
+		if ns := float64(time.Since(t0).Nanoseconds()); best < 0 || ns < best {
+			best = ns
+		}
+	}
+	return best / float64(2*len(del))
+}
+
+// E12BatchExecutor — real-concurrency backend: wall-clock scaling of the
+// goroutine worker-pool executor on the batch kernels behind
+// parmsf.InsertEdges. Every other experiment reports simulated depth/work;
+// this one reports measured nanoseconds across worker counts. The sort
+// kernel scales with workers; the end-to-end column is capped by the
+// sequential slot/ring maintenance of the degree-reduction gadget (Amdahl).
+// Attainable speedup is capped by GOMAXPROCS.
+func E12BatchExecutor(w io.Writer, sc Scale) {
+	sz := batchSizesFor(sc)
+	tb := stats.NewTable(
+		fmt.Sprintf("E12 — goroutine executor: batch kernel wall time (%d-item sort, n=%d batch insert, GOMAXPROCS=%d)",
+			sz.sortItems, sz.insertN, runtime.GOMAXPROCS(0)),
+		"workers", "sort ms", "sort speedup", "insert ns/edge", "insert speedup")
+
+	src := mkSortItems(sz.sortItems)
+	work := make([]batch.Item, sz.sortItems)
+	edges := mkInsertEdges(sz.insertN)
 
 	var sort1, ins1 float64
 	for _, workers := range []int{1, 2, 4, 8} {
-		st := timeSort(workers)
-		it := timeInsert(workers)
+		st := timeSortKernel(src, work, workers)
+		it := timeBatchInsert(sz.insertN, edges, workers)
 		if workers == 1 {
 			sort1, ins1 = st, it
 		}
 		tb.Row(workers, st/1e6, sort1/st, it, ins1/it)
 	}
 	tb.Fprint(w)
-	fmt.Fprintln(w, "theory: sort speedup ~ min(workers, cores); insert speedup capped by the sequential application stage (Amdahl)")
+	fmt.Fprintln(w, "theory: sort speedup ~ min(workers, cores); insert speedup capped by the sequential slot/ring stage (Amdahl)")
 	fmt.Fprintln(w)
+}
+
+// E13BatchPipeline — staged batch-application pipeline: wall time of
+// batches of independent non-tree updates through classify -> shard ->
+// apply across worker counts. Unlike E12 (the preprocessing kernels), this
+// measures the application stages themselves: the sharded per-chunk-pair
+// entry scans and the level-parallel aggregate flush. Attainable speedup
+// is capped by GOMAXPROCS; the cost counters are worker-independent.
+func E13BatchPipeline(w io.Writer, sc Scale) {
+	sz := batchSizesFor(sc)
+	tb := stats.NewTable(
+		fmt.Sprintf("E13 — batch pipeline: independent non-tree updates (n=%d, GOMAXPROCS=%d)",
+			sz.nontreeN, runtime.GOMAXPROCS(0)),
+		"workers", "apply ns/edge", "speedup")
+	var base float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		ns := timeNontree(sz.nontreeN, workers)
+		if workers == 1 {
+			base = ns
+		}
+		tb.Row(workers, ns, base/ns)
+	}
+	tb.Fprint(w)
+	fmt.Fprintln(w, "theory: apply speedup ~ min(workers, cores) on the sharded scan + flush stages; ~1.0 on single-core hosts")
+	fmt.Fprintln(w)
+}
+
+// BatchPoint is one worker-count measurement of a batch stage; Value's
+// unit is carried by the enclosing array's key (sort_ms: milliseconds,
+// insert_ns_per_edge / nontree_ns_per_edge: nanoseconds per edge).
+type BatchPoint struct {
+	Workers int     `json:"workers"`
+	Value   float64 `json:"value"`
+	Speedup float64 `json:"speedup"`
+}
+
+// BatchReport is the machine-readable record of the E12/E13 batch
+// measurements (BENCH_batch.json): per-worker wall times and speedups of
+// the sort kernel, the end-to-end public batch insert, and the core
+// pipeline on independent non-tree updates.
+type BatchReport struct {
+	Generated  string       `json:"generated"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Scale      string       `json:"scale"`
+	SortItems  int          `json:"sort_items"`
+	InsertN    int          `json:"insert_n"`
+	NontreeN   int          `json:"nontree_n"`
+	Sort       []BatchPoint `json:"sort_ms"`
+	Insert     []BatchPoint `json:"insert_ns_per_edge"`
+	Nontree    []BatchPoint `json:"nontree_ns_per_edge"`
+}
+
+// BuildBatchReport runs the E12/E13 measurements and assembles the report.
+func BuildBatchReport(sc Scale) BatchReport {
+	sz := batchSizesFor(sc)
+	rep := BatchReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      sz.name,
+		SortItems:  sz.sortItems,
+		InsertN:    sz.insertN,
+		NontreeN:   sz.nontreeN,
+	}
+	src := mkSortItems(sz.sortItems)
+	work := make([]batch.Item, sz.sortItems)
+	edges := mkInsertEdges(sz.insertN)
+
+	var s1, i1, n1 float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		st := timeSortKernel(src, work, workers)
+		it := timeBatchInsert(sz.insertN, edges, workers)
+		nt := timeNontree(sz.nontreeN, workers)
+		if workers == 1 {
+			s1, i1, n1 = st, it, nt
+		}
+		rep.Sort = append(rep.Sort, BatchPoint{workers, st / 1e6, s1 / st})
+		rep.Insert = append(rep.Insert, BatchPoint{workers, it, i1 / it})
+		rep.Nontree = append(rep.Nontree, BatchPoint{workers, nt, n1 / nt})
+	}
+	return rep
+}
+
+// WriteBatchJSON writes BuildBatchReport's output as indented JSON to path.
+func WriteBatchJSON(path string, sc Scale) error {
+	rep := BuildBatchReport(sc)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

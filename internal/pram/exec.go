@@ -73,6 +73,43 @@ func (m *Machine) Run(active int, f func(p int)) {
 	}
 }
 
+// RunRanges executes f over contiguous subranges [lo, hi) covering [0, n)
+// on the executor without charging Time or Work. It is the range-shaped
+// sibling of Run for vector kernels: a tight loop over a subrange amortizes
+// the per-task dispatch cost that a per-index Run would pay n times. The
+// number of ranges follows the worker count (one dispatch per pool chunk),
+// so — like Run — it must only be used for kernels whose model cost is
+// charged separately and whose result is independent of the partition
+// (disjoint writes per index).
+func (m *Machine) RunRanges(n int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if m.pool == nil || m.Check || n < rangeFanMin {
+		f(0, n)
+		return
+	}
+	chunks := m.pool.workers * chunksPerWorker
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	tasks := (n + size - 1) / size
+	m.pool.run(tasks, func(t int) {
+		lo := t * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		f(lo, hi)
+	})
+}
+
+// rangeFanMin is the width below which RunRanges runs inline: dispatching a
+// round to the pool costs on the order of microseconds, so tiny vector
+// loops are cheaper on the host.
+const rangeFanMin = 1 << 11
+
 // chunksPerWorker over-decomposes each round for load balance: a worker
 // that finishes a cheap chunk steals the next instead of idling at the
 // barrier behind a slow one.

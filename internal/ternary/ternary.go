@@ -16,6 +16,8 @@ package ternary
 import (
 	"errors"
 	"fmt"
+
+	"parmsf/internal/core"
 )
 
 // RingWeight is the weight of gadget ring edges. It must compare below
@@ -116,44 +118,56 @@ func key(u, v int) [2]int {
 
 // InsertEdge adds edge (u, v) of weight wt (must be > RingWeight).
 func (w *Wrapper) InsertEdge(u, v int, wt int64) error {
+	rec, err := w.stageInsert(u, v, wt)
+	if err != nil {
+		return err
+	}
+	if err := w.eng.InsertEdge(int(rec.su), int(rec.sv), wt); err != nil {
+		panic(fmt.Sprintf("ternary: gadget insert failed: %v", err))
+	}
+	return nil
+}
+
+// stageInsert validates one insertion, claims its gadget slots (appending
+// ring edges as needed) and records the wrapper bookkeeping; the hosted
+// real edge (rec.su, rec.sv, wt) is left for the caller to apply to the
+// engine — singly (InsertEdge) or as part of a batch (InsertEdges).
+func (w *Wrapper) stageInsert(u, v int, wt int64) (*edgeRec, error) {
 	if u < 0 || u >= w.n || v < 0 || v >= w.n {
-		return ErrVertex
+		return nil, ErrVertex
 	}
 	if u == v {
-		return ErrSelfLoop
+		return nil, ErrSelfLoop
 	}
 	if wt <= RingWeight {
-		return ErrWeight
+		return nil, ErrWeight
 	}
 	k := key(u, v)
 	if _, dup := w.edges[k]; dup {
-		return ErrExists
+		return nil, ErrExists
 	}
 	if len(w.free) < 2 {
-		return ErrCapacity
+		return nil, ErrCapacity
 	}
 	su, newU, err := w.openSlot(u)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sv, _, err := w.openSlot(v)
 	if err != nil {
 		if newU {
 			w.closeSlot(u, len(w.slots[u])-1) // roll back u's new slot
 		}
-		return err
+		return nil, err
 	}
 	rec := &edgeRec{u: k[0], v: k[1], w: wt, su: su, sv: sv}
 	if k[0] == v {
 		rec.su, rec.sv = sv, su
 	}
-	if err := w.eng.InsertEdge(int(su), int(sv), wt); err != nil {
-		panic(fmt.Sprintf("ternary: gadget insert failed: %v", err))
-	}
 	w.hostAt(u, su, rec)
 	w.hostAt(v, sv, rec)
 	w.edges[k] = rec
-	return nil
+	return rec, nil
 }
 
 // openSlot returns a slot of x able to host a new edge, appending a slot
@@ -244,33 +258,40 @@ func (w *Wrapper) compact(x int, slot int32) {
 	h[idx] = nil
 	last := len(s) - 1
 	if idx != last && h[last] != nil {
-		// Move the edge hosted at the last slot into the freed slot.
-		mv := h[last]
-		other := mv.sv
-		if mv.su != s[last] {
-			if mv.sv != s[last] {
-				panic("ternary: hosted record inconsistent")
-			}
-			other = mv.su
-		}
-		if err := w.eng.DeleteEdge(int(s[last]), int(other)); err != nil {
-			panic(fmt.Sprintf("ternary: move delete failed: %v", err))
-		}
-		if err := w.eng.InsertEdge(int(s[idx]), int(other), mv.w); err != nil {
-			panic(fmt.Sprintf("ternary: move insert failed: %v", err))
-		}
-		if mv.su == s[last] {
-			mv.su = s[idx]
-		} else {
-			mv.sv = s[idx]
-		}
-		h[idx] = mv
-		h[last] = nil
+		w.moveHosted(x, last, idx)
 	}
 	// The last slot is now unhosted; retire it (base stays).
 	if last > 0 && h[last] == nil {
 		w.closeSlot(x, last)
 	}
+}
+
+// moveHosted moves the edge hosted at slot index from of x into the
+// unhosted slot index to (an engine delete + insert), repairing the
+// record's hosting.
+func (w *Wrapper) moveHosted(x, from, to int) {
+	s, h := w.slots[x], w.hosted[x]
+	mv := h[from]
+	other := mv.sv
+	if mv.su != s[from] {
+		if mv.sv != s[from] {
+			panic("ternary: hosted record inconsistent")
+		}
+		other = mv.su
+	}
+	if err := w.eng.DeleteEdge(int(s[from]), int(other)); err != nil {
+		panic(fmt.Sprintf("ternary: move delete failed: %v", err))
+	}
+	if err := w.eng.InsertEdge(int(s[to]), int(other), mv.w); err != nil {
+		panic(fmt.Sprintf("ternary: move insert failed: %v", err))
+	}
+	if mv.su == s[from] {
+		mv.su = s[to]
+	} else {
+		mv.sv = s[to]
+	}
+	h[to] = mv
+	h[from] = nil
 }
 
 // Connected reports whether u and v are connected in the original graph.
@@ -298,6 +319,152 @@ func (w *Wrapper) ForestEdges(f func(u, v int, wt int64) bool) {
 
 // M returns the number of live original edges.
 func (w *Wrapper) M() int { return len(w.edges) }
+
+// BatchEngine is the optional batch interface of a wrapped engine: an
+// engine exposing the staged batch-application pipeline (core.MSF). When
+// the wrapped engine implements it, the wrapper's InsertEdges/DeleteEdges
+// translate whole batches of original-graph updates into one gadget-level
+// batch, so classification, sharding and the parallel apply stages see the
+// full batch instead of one edge at a time.
+type BatchEngine interface {
+	ApplyBatch(ops []core.BatchOp) []error
+}
+
+// BatchEdge is one item of a batch insertion through InsertEdges.
+type BatchEdge struct {
+	U, V int
+	W    int64
+}
+
+// InsertEdges inserts a batch of edges in order, returning one error slot
+// per item (nil on success, else the error InsertEdge would have
+// returned). Slot allocation and ring maintenance are sequential wrapper
+// bookkeeping; the hosted real edges are applied as a single engine batch
+// when the engine supports it, which is where the batch pipeline's
+// parallelism lives. With distinct real weights the resulting forest is
+// identical to per-edge insertion (the MSF is unique; ring edges are
+// forced into every gadget MSF).
+func (w *Wrapper) InsertEdges(items []BatchEdge) []error {
+	errs := make([]error, len(items))
+	be, ok := w.eng.(BatchEngine)
+	if !ok {
+		for i, it := range items {
+			errs[i] = w.InsertEdge(it.U, it.V, it.W)
+		}
+		return errs
+	}
+	ops := make([]core.BatchOp, 0, len(items))
+	for i, it := range items {
+		rec, err := w.stageInsert(it.U, it.V, it.W)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		ops = append(ops, core.BatchOp{U: int(rec.su), V: int(rec.sv), W: it.W})
+	}
+	if len(ops) > 0 {
+		for _, err := range be.ApplyBatch(ops) {
+			if err != nil {
+				panic(fmt.Sprintf("ternary: gadget batch insert failed: %v", err))
+			}
+		}
+	}
+	return errs
+}
+
+// DeleteEdges deletes a batch of edges named by endpoint pairs, returning
+// one error slot per item (nil on success, ErrMissing for absent edges and
+// for repeated keys after their first occurrence). The hosted real edges
+// are removed as one engine batch — the engine's planner classifies tree
+// versus non-tree deletions across the whole batch and orders non-tree
+// deletions first — and the freed slots are compacted afterwards.
+func (w *Wrapper) DeleteEdges(keys [][2]int) []error {
+	errs := make([]error, len(keys))
+	be, ok := w.eng.(BatchEngine)
+	if !ok {
+		for i, k := range keys {
+			errs[i] = w.DeleteEdge(k[0], k[1])
+		}
+		return errs
+	}
+	ops := make([]core.BatchOp, 0, len(keys))
+	recs := make([]*edgeRec, 0, len(keys))
+	for i, kk := range keys {
+		k := key(kk[0], kk[1])
+		rec, ok := w.edges[k]
+		if !ok {
+			errs[i] = ErrMissing
+			continue
+		}
+		delete(w.edges, k)
+		ops = append(ops, core.BatchOp{Del: true, U: int(rec.su), V: int(rec.sv)})
+		recs = append(recs, rec)
+	}
+	if len(ops) == 0 {
+		return errs
+	}
+	for _, err := range be.ApplyBatch(ops) {
+		if err != nil {
+			panic(fmt.Sprintf("ternary: gadget batch delete failed: %v", err))
+		}
+	}
+	// Compact the slot paths: clear every deleted hosting first (so a move
+	// can never resurrect a batch-deleted edge), then repair each touched
+	// vertex once, in first-touch order.
+	var vs []int
+	touched := make(map[int]bool, 2*len(recs))
+	for _, rec := range recs {
+		w.clearHost(rec.u, rec.su)
+		w.clearHost(rec.v, rec.sv)
+		for _, x := range [2]int{rec.u, rec.v} {
+			if !touched[x] {
+				touched[x] = true
+				vs = append(vs, x)
+			}
+		}
+	}
+	for _, x := range vs {
+		w.compactVertex(x)
+	}
+	return errs
+}
+
+// clearHost unhosts the edge at the given slot of x.
+func (w *Wrapper) clearHost(x int, slot int32) {
+	for i, g := range w.slots[x] {
+		if g == slot {
+			w.hosted[x][i] = nil
+			return
+		}
+	}
+	panic("ternary: clearHost: slot not found")
+}
+
+// compactVertex restores slot-path compactness for x after a batch of
+// deletions: holes below the last slot are filled by moving the last
+// hosted edge down (engine delete + insert, as in compact), and trailing
+// unhosted slots are retired.
+func (w *Wrapper) compactVertex(x int) {
+	for {
+		s, h := w.slots[x], w.hosted[x]
+		last := len(s) - 1
+		if last > 0 && h[last] == nil {
+			w.closeSlot(x, last)
+			continue
+		}
+		hole := -1
+		for i := 0; i < last; i++ {
+			if h[i] == nil {
+				hole = i
+				break
+			}
+		}
+		if hole < 0 {
+			return
+		}
+		w.moveHosted(x, last, hole)
+	}
+}
 
 // CheckGadget verifies wrapper bookkeeping (tests): slot paths are compact
 // and every edge's hosting is mutual.

@@ -79,6 +79,11 @@ func (f *Forest) Trees() int { return f.trees }
 // Leaves returns the per-tree leaf capacity.
 func (f *Forest) Leaves() int { return f.size }
 
+// tourneyFanMin is the round width at which tournament phases fan out to
+// the machine's worker pool; smaller rounds run inline on the host (the
+// dispatch barrier costs more than a few hundred O(1) comparisons).
+const tourneyFanMin = 1 << 10
+
 type contestant struct {
 	idx     int // heap index within the tree segment
 	base    int // tree * 2 * size
@@ -116,6 +121,22 @@ func (f *Forest) Run(entries []Entry, emit func(tree int32, val int64, payload i
 		cs = append(cs, contestant{idx: idx, base: base, val: e.Val, payload: e.Payload, tree: e.Tree, active: true})
 	}
 
+	// Each phase is one synchronous round: the cost is charged by Steps
+	// with the surviving processor count, and the effect application runs
+	// through the machine's executor (for real, across the worker pool, on
+	// large rounds). The phases are EREW-clean — each contestant touches
+	// only its own state and its own parent cell, with left and right
+	// children separated by the phase barrier — so pool execution is
+	// race-free and the outcome is identical for every worker count.
+	phase := func(n int, body func(i int)) {
+		if n >= tourneyFanMin {
+			m.Run(n, body)
+			return
+		}
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+	}
 	for level := 0; level < f.levels; level++ {
 		active := activeCount(cs)
 		if active == 0 {
@@ -123,21 +144,21 @@ func (f *Forest) Run(entries []Entry, emit func(tree int32, val int64, payload i
 		}
 		// Phase 1: left children write their value into the parent.
 		m.Steps(1, active)
-		for i := range cs {
+		phase(len(cs), func(i int) {
 			c := &cs[i]
 			if c.active && c.idx%2 == 0 {
 				p := c.base + c.idx/2
 				f.space.Touch(i, p)
 				f.set(p, c.val, c.payload)
 			}
-		}
+		})
 		// Phase 2: right children compare; they overwrite a heavier parent
 		// or deactivate.
 		m.Steps(1, active)
-		for i := range cs {
+		phase(len(cs), func(i int) {
 			c := &cs[i]
 			if !c.active || c.idx%2 == 0 {
-				continue
+				return
 			}
 			p := c.base + c.idx/2
 			f.space.Touch(i, p)
@@ -147,27 +168,27 @@ func (f *Forest) Run(entries []Entry, emit func(tree int32, val int64, payload i
 			} else {
 				c.active = false
 			}
-		}
+		})
 		// Phase 3: left children re-read; a lighter right sibling won.
 		m.Steps(1, active)
-		for i := range cs {
+		phase(len(cs), func(i int) {
 			c := &cs[i]
 			if !c.active || c.idx%2 != 0 {
-				continue
+				return
 			}
 			p := c.base + c.idx/2
 			f.space.Touch(i, p)
 			if pv, ok := f.get(p); ok && pv < c.val {
 				c.active = false
 			}
-		}
+		})
 		// Phase 4: survivors ascend.
 		m.Steps(1, active)
-		for i := range cs {
+		phase(len(cs), func(i int) {
 			if cs[i].active {
 				cs[i].idx /= 2
 			}
-		}
+		})
 	}
 	for i := range cs {
 		if cs[i].active {
@@ -235,17 +256,28 @@ func MinReduce(m *Machine, vals []int64, skip int64) (int, int64) {
 	// One round for the parallel load of the leaves.
 	m.Steps(1, len(cur))
 	for len(cur) > 1 {
+		pairs := len(cur) / 2
 		m.Steps(1, (len(cur)+1)/2)
-		out := make([]slot, 0, (len(cur)+1)/2)
-		for i := 0; i+1 < len(cur); i += 2 {
-			a, b := cur[i], cur[i+1]
-			if b.val < a.val { // ties favor the left, as in the paper
+		out := make([]slot, (len(cur)+1)/2)
+		// Each comparison writes its own output slot, so large rounds run
+		// across the worker pool; ties favor the left, as in the paper, for
+		// every worker count.
+		combine := func(i int) {
+			a, b := cur[2*i], cur[2*i+1]
+			if b.val < a.val {
 				a = b
 			}
-			out = append(out, a)
+			out[i] = a
+		}
+		if pairs >= tourneyFanMin {
+			m.Run(pairs, combine)
+		} else {
+			for i := 0; i < pairs; i++ {
+				combine(i)
+			}
 		}
 		if len(cur)%2 == 1 {
-			out = append(out, cur[len(cur)-1])
+			out[pairs] = cur[len(cur)-1]
 		}
 		cur = out
 	}

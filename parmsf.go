@@ -184,15 +184,26 @@ type EdgeKey struct {
 	U, V int
 }
 
+// batchEngine is the optional batch interface of the composed engine
+// (implemented by the ternary wrapper over the core structure): it drives
+// whole batches through the staged classify/shard/apply pipeline instead of
+// one engine operation per edge.
+type batchEngine interface {
+	InsertEdges(items []ternary.BatchEdge) []error
+	DeleteEdges(keys [][2]int) []error
+}
+
 // InsertEdges inserts a batch of edges, updating the forest once per edge.
-// The batch is preprocessed in parallel on the forest's executor (when
-// Options.Workers selected one): a validation kernel classifies every item
-// in one round, and a parallel merge sort orders the survivors by ascending
-// weight — so an edge can never displace a lighter batch-mate that was
-// inserted after it, which avoids quadratic cycle-swap churn inside a
-// batch. Structural application is sequential and deterministic: items
-// apply in (weight, endpoints, batch index) order, so the resulting forest
-// is independent of the worker count.
+// The batch runs through the staged pipeline on the forest's executor: a
+// validation kernel classifies every item in one round, a parallel merge
+// sort orders the survivors by ascending weight — so an edge can never
+// displace a lighter batch-mate that was inserted after it, which avoids
+// quadratic cycle-swap churn inside a batch — and the engine applies the
+// sorted batch with its CAdj effect application sharded across the worker
+// pool (one deduplicated, level-parallel aggregate flush per batch instead
+// of one climb per edge). Application order is deterministic — (weight,
+// endpoints, batch index) — so the resulting forest and the PRAM cost
+// counters are independent of the worker count.
 //
 // The result is nil when every edge was inserted; otherwise it has one
 // entry per input edge, nil for successes and the same error Insert would
@@ -218,10 +229,23 @@ func (f *Forest) InsertEdges(edges []Edge) []error {
 	}
 	failed := len(edges) - len(items)
 	batch.Sort(f.mach, items)
-	for _, it := range items {
-		if err := f.Insert(it.A, it.B, it.Key); err != nil {
-			errs[it.Idx] = err
-			failed++
+	if be, ok := f.eng.(batchEngine); ok {
+		bes := make([]ternary.BatchEdge, len(items))
+		for i, it := range items {
+			bes[i] = ternary.BatchEdge{U: it.A, V: it.B, W: it.Key}
+		}
+		for i, err := range be.InsertEdges(bes) {
+			if err != nil {
+				errs[items[i].Idx] = mapBatchInsertErr(err)
+				failed++
+			}
+		}
+	} else {
+		for _, it := range items {
+			if err := f.Insert(it.A, it.B, it.Key); err != nil {
+				errs[it.Idx] = err
+				failed++
+			}
 		}
 	}
 	if failed == 0 {
@@ -230,11 +254,26 @@ func (f *Forest) InsertEdges(edges []Edge) []error {
 	return errs
 }
 
+// mapBatchInsertErr translates a ternary batch error to the public error
+// Insert would have returned.
+func mapBatchInsertErr(err error) error {
+	switch err {
+	case ternary.ErrExists:
+		return ErrExists
+	case ternary.ErrCapacity:
+		return ErrCapacity
+	}
+	return ErrBadEdge
+}
+
 // DeleteEdges deletes a batch of edges, finding replacements as needed. The
-// keys are canonicalized by a parallel kernel on the forest's executor and
-// then applied sequentially in batch order (replacement searches are
-// inherently serialized through the structure today; parallelizing them is
-// a roadmap item).
+// keys are canonicalized by a parallel kernel on the forest's executor; the
+// engine's planner then classifies the batch — tree versus non-tree
+// deletions — in one parallel round and deletes the non-tree edges first
+// (as one group of concurrently recomputed chunk-pair entries), so no
+// replacement search can ever pick an edge the same batch is about to
+// remove. Tree-edge deletions follow, each running its replacement search
+// through the parallel MWR.
 //
 // The result is nil when every edge was deleted; otherwise it has one entry
 // per input key, nil for successes and the error Delete would have returned
@@ -258,14 +297,33 @@ func (f *Forest) DeleteEdges(keys []EdgeKey) []error {
 		canon[i] = k
 	})
 	failed := 0
-	for i, k := range canon {
-		if errs[i] != nil {
-			failed++
-			continue
+	if be, ok := f.eng.(batchEngine); ok {
+		var bk [][2]int
+		var bki []int
+		for i, k := range canon {
+			if errs[i] != nil {
+				failed++
+				continue
+			}
+			bk = append(bk, [2]int{k.U, k.V})
+			bki = append(bki, i)
 		}
-		if err := f.Delete(k.U, k.V); err != nil {
-			errs[i] = err
-			failed++
+		for j, err := range be.DeleteEdges(bk) {
+			if err != nil {
+				errs[bki[j]] = ErrNotFound
+				failed++
+			}
+		}
+	} else {
+		for i, k := range canon {
+			if errs[i] != nil {
+				failed++
+				continue
+			}
+			if err := f.Delete(k.U, k.V); err != nil {
+				errs[i] = err
+				failed++
+			}
 		}
 	}
 	if failed == 0 {

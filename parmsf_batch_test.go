@@ -1,6 +1,7 @@
 package parmsf
 
 import (
+	"fmt"
 	"testing"
 
 	"parmsf/internal/workload"
@@ -121,25 +122,33 @@ func TestDeleteEdges(t *testing.T) {
 }
 
 // TestBatchParityAcrossBackends drives an identical randomized stream of
-// batch and single updates through the sequential simulator and the real
-// goroutine-parallel executor (and a plain sequential forest), requiring
-// identical forests, weights, per-item errors, and — between the two
-// machine-backed runs — identical Time/Work/MaxActive counters. Run with
-// -race to also certify the executor's kernels are data-race free.
+// batch and single updates through the sequential simulator and real
+// goroutine-parallel executors at every acceptance worker count (1, 2, 4),
+// plus a plain sequential forest, requiring identical forests, weights,
+// per-item errors, and — between all machine-backed runs — identical
+// Time/Work/MaxActive counters. Run with -race to also certify the
+// executor's kernels are data-race free.
 func TestBatchParityAcrossBackends(t *testing.T) {
 	const n = 2048
 	plain := New(n, Options{})
 	sim := New(n, Options{Parallel: true})
-	par := New(n, Options{Workers: 4})
-	defer par.Close()
-	forests := []*Forest{plain, sim, par}
+	machined := []*Forest{sim}
+	for _, w := range []int{1, 2, 4} {
+		pf := New(n, Options{Workers: w})
+		defer pf.Close()
+		machined = append(machined, pf)
+	}
+	forests := append([]*Forest{plain}, machined...)
 
 	checkCounters := func(stage string) {
 		t.Helper()
-		ms, mp := sim.PRAM(), par.PRAM()
-		if ms.Time != mp.Time || ms.Work != mp.Work || ms.MaxActive != mp.MaxActive {
-			t.Fatalf("%s: counters diverge: sim {T=%d W=%d A=%d} vs par {T=%d W=%d A=%d}",
-				stage, ms.Time, ms.Work, ms.MaxActive, mp.Time, mp.Work, mp.MaxActive)
+		ms := sim.PRAM()
+		for _, pf := range machined[1:] {
+			mp := pf.PRAM()
+			if ms.Time != mp.Time || ms.Work != mp.Work || ms.MaxActive != mp.MaxActive {
+				t.Fatalf("%s: counters diverge: sim {T=%d W=%d A=%d} vs workers {T=%d W=%d A=%d}",
+					stage, ms.Time, ms.Work, ms.MaxActive, mp.Time, mp.Work, mp.MaxActive)
+			}
 		}
 	}
 	applyBatch := func(stage string, edges []Edge) {
@@ -167,8 +176,9 @@ func TestBatchParityAcrossBackends(t *testing.T) {
 	}
 	applyBatch("big insert", big)
 	checkCounters("big insert")
-	sameForest(t, plain, sim, "big insert sim")
-	sameForest(t, plain, par, "big insert par")
+	for i, f := range machined {
+		sameForest(t, plain, f, fmt.Sprintf("big insert backend %d", i))
+	}
 
 	// Randomized churn: small batches of inserts and deletes plus single
 	// ops, all identical across backends.
@@ -214,8 +224,9 @@ func TestBatchParityAcrossBackends(t *testing.T) {
 		}
 		checkCounters("churn")
 	}
-	sameForest(t, plain, sim, "final sim")
-	sameForest(t, plain, par, "final par")
+	for i, f := range machined {
+		sameForest(t, plain, f, fmt.Sprintf("final backend %d", i))
+	}
 }
 
 func TestForestCloseIdempotent(t *testing.T) {
