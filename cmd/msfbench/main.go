@@ -8,6 +8,7 @@
 //	msfbench -exp E1,E4                     # selected experiments
 //	msfbench -full                          # paper-scale sizes (slower)
 //	msfbench -exp none -batchjson FILE      # machine-readable batch report only
+//	msfbench -exp E14 -batchjson FILE       # sparsify batch tables + refreshed report
 package main
 
 import (
@@ -21,7 +22,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E13), 'all', or 'none'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E14), 'all', or 'none'")
 	full := flag.Bool("full", false, "paper-scale sizes")
 	batchJSON := flag.String("batchjson", "", "write the E12/E13 batch measurements as JSON to this path (BENCH_batch.json)")
 	flag.Parse()

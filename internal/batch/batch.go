@@ -19,6 +19,17 @@ import (
 	"parmsf/internal/pram"
 )
 
+// Edge is one weighted edge of a batch update in whatever vertex id space
+// the receiving layer uses. It is the lingua franca of the batch interfaces
+// between layers: parmsf hands []Edge to the composed engine, the
+// sparsification tree hands per-node []Edge deltas to its node engines, and
+// the ternary wrapper (whose BatchEdge is an alias of this type) translates
+// them into gadget-level engine batches.
+type Edge struct {
+	U, V int
+	W    int64
+}
+
 // Item is one element of a batch kernel: a 64-bit primary sort key (the
 // edge weight), two operands (the endpoints), and the element's index in
 // the original batch. The sort order is lexicographic over (Key, A, B, Idx)

@@ -82,12 +82,21 @@ func (m *MSF) DeleteEdge(u, v int) error {
 	return m.ApplyBatch([]BatchOp{{Del: true, U: u, V: v}})[0]
 }
 
-// applyInsert applies one planned insertion (the weight was validated by
-// the classify stage). The CAdj entry update defers its aggregate
-// refreshes to the batch flush; the structural forest update — dynamic-tree
-// link or cycle swap — flushes first when it needs surgery, because surgery
-// reads the Memb aggregates.
+// applyInsert applies one planned insertion on the single-op path: the
+// connectivity question is answered by a dynamic-tree query, then the
+// shared tail applies.
 func (m *MSF) applyInsert(u, v int, w Weight) error {
+	m.st.ch.Seq(log2ceil(m.st.n + 1)) // dynamic-tree connectivity query
+	return m.applyInsertPlanned(u, v, w, m.lf.Connected(u, v))
+}
+
+// applyInsertPlanned applies one planned insertion whose connectivity
+// answer was resolved upstream — per-op by applyInsert, or for a whole
+// batch by the tour-root kernel of insertclass.go. The CAdj entry update
+// defers its aggregate refreshes to the batch flush; the structural forest
+// update — dynamic-tree link or cycle swap — flushes first when it needs
+// surgery, because surgery reads the Memb aggregates.
+func (m *MSF) applyInsertPlanned(u, v int, w Weight, connected bool) error {
 	e, err := m.st.g.Insert(u, v, w)
 	if err != nil {
 		return err
@@ -105,11 +114,11 @@ func (m *MSF) applyInsert(u, v int, w Weight) error {
 	st.noteEdgeEntryInserted(e)
 	st.normalize([]*Chunk{pu.chunk, pv.chunk})
 
-	st.ch.Seq(log2ceil(st.n + 1)) // dynamic-tree query cost
-	if !m.lf.Connected(u, v) {
+	if !connected {
 		m.becomeTree(e)
 		return nil
 	}
+	st.ch.Seq(log2ceil(st.n + 1)) // dynamic-tree path-max query
 	heavy := m.lf.PathMaxEdge(u, v)
 	if w < heavy.W {
 		old := st.g.Find(heavy.U, heavy.V)

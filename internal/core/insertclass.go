@@ -1,0 +1,85 @@
+package core
+
+// This file implements the batched insert-side classification of the
+// pipeline's insert stage. Per-edge insertion answers "are u and v already
+// connected?" with a dynamic-tree query per edge — a sequential pointer
+// walk that also splays, so it cannot be fanned out. For a batch, the same
+// question is answered read-only by the list structure itself: one kernel
+// round computes the tour root of every endpoint (the SameTour primitive,
+// a pure pointer walk up the Euler-tour trees), and a host-side union-find
+// over those root tokens replays the batch's own merges in plan order —
+// insertions only ever merge components, never split them, so the
+// pre-stage roots plus the batch's links determine every answer exactly.
+// Only the path-max queries of the already-connected cases (and the
+// dynamic-tree links themselves) remain sequential.
+
+// insertConn resolves connectivity for the planned insertions: roots[i]
+// holds the union-find token pair of insertion idx[i]'s endpoints.
+type insertConn struct {
+	ru, rv []int32 // per planned insertion: dense ids of the endpoint roots
+	parent []int32 // union-find over root ids (path-halving, union by index)
+}
+
+// planInsertConnectivity computes the endpoint tour roots of every planned
+// insertion in one data-parallel round (2k processors, one per endpoint,
+// each a read-only O(log n) walk writing only its own cell) and densifies
+// them into union-find tokens. It must run after the deletion stages:
+// deletions split tours, so the roots snapshot the exact pre-insert state.
+func (m *MSF) planInsertConnectivity(idx []int, ops []BatchOp) *insertConn {
+	st := m.st
+	k := len(idx)
+	roots := make([]*Tour, 2*k)
+	st.ch.Par(log2ceil(st.n+1), 2*k) // Lemma 3.1 shape: parallel root walks
+	st.ch.Apply(2*k, func(p int) {
+		op := ops[idx[p/2]]
+		v := op.U
+		if p%2 == 1 {
+			v = op.V
+		}
+		roots[p] = st.tourOf(st.pcs[v].chunk)
+	})
+
+	// Host pass: densify the root pointers into union-find ids in first-
+	// occurrence order (deterministic for every worker count).
+	st.ch.Seq(k)
+	ic := &insertConn{ru: make([]int32, k), rv: make([]int32, k)}
+	ids := make(map[*Tour]int32, 2*k)
+	tok := func(t *Tour) int32 {
+		id, ok := ids[t]
+		if !ok {
+			id = int32(len(ic.parent))
+			ids[t] = id
+			ic.parent = append(ic.parent, id)
+		}
+		return id
+	}
+	for i := 0; i < k; i++ {
+		ic.ru[i] = tok(roots[2*i])
+		ic.rv[i] = tok(roots[2*i+1])
+	}
+	return ic
+}
+
+// find resolves a root token with path halving.
+func (ic *insertConn) find(x int32) int32 {
+	for ic.parent[x] != x {
+		ic.parent[x] = ic.parent[ic.parent[x]]
+		x = ic.parent[x]
+	}
+	return x
+}
+
+// connected reports whether planned insertion i joins two vertices already
+// in one component — per the pre-stage roots plus the unions recorded for
+// the batch's earlier successful links.
+func (ic *insertConn) connected(i int) bool {
+	return ic.find(ic.ru[i]) == ic.find(ic.rv[i])
+}
+
+// union records that insertion i linked its two components.
+func (ic *insertConn) union(i int) {
+	a, b := ic.find(ic.ru[i]), ic.find(ic.rv[i])
+	if a != b {
+		ic.parent[b] = a
+	}
+}

@@ -141,8 +141,19 @@ func (m *MSF) ApplyBatch(ops []BatchOp) []error {
 	for _, i := range p.TreeDel {
 		m.deleteTreeEdge(ops[i].U, ops[i].V)
 	}
-	for _, i := range p.Inserts {
-		errs[i] = m.applyInsert(ops[i].U, ops[i].V, ops[i].W)
+	if len(p.Inserts) > 0 {
+		// Insert-side classification for the whole stage: one read-only
+		// kernel round of tour-root walks plus a host union-find replay
+		// (insertclass.go), leaving only path-max queries sequential.
+		ic := m.planInsertConnectivity(p.Inserts, ops)
+		for j, i := range p.Inserts {
+			op := ops[i]
+			conn := ic.connected(j)
+			errs[i] = m.applyInsertPlanned(op.U, op.V, op.W, conn)
+			if errs[i] == nil && !conn {
+				ic.union(j)
+			}
+		}
 	}
 	m.st.flushCAdj()
 	return errs

@@ -241,3 +241,76 @@ func TestBatchMixedOps(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchInsertClassification targets the tour-root classification of the
+// insert stage (insertclass.go): a batch whose later inserts are connected
+// only through the batch's own earlier links, a cycle swap triggered inside
+// the batch, and a redundant heavy edge — every answer must match per-edge
+// application on a twin engine.
+func TestBatchInsertClassification(t *testing.T) {
+	const n = 16
+	bat := NewMSF(n, Config{}, SeqCharger{})
+	ref := NewMSF(n, Config{}, SeqCharger{})
+	ops := []BatchOp{
+		{U: 0, V: 1, W: 10},  // link (fresh components)
+		{U: 2, V: 3, W: 11},  // link
+		{U: 1, V: 2, W: 12},  // link: joins the two previous batch links
+		{U: 0, V: 3, W: 5},   // connected only via the batch's own links: cycle swap (displaces 12)
+		{U: 4, V: 5, W: 13},  // link (fresh components)
+		{U: 5, V: 6, W: 14},  // link
+		{U: 4, V: 6, W: 200}, // connected via the batch's links, heavy: no-op
+		{U: 3, V: 6, W: 15},  // link: joins the two batch-built components
+		{U: 1, V: 5, W: 300}, // connected through everything above: no-op
+	}
+	for i, err := range bat.ApplyBatch(ops) {
+		if err != nil {
+			t.Fatalf("batch errs[%d] = %v", i, err)
+		}
+	}
+	for _, op := range ops {
+		if err := ref.InsertEdge(op.U, op.V, op.W); err != nil {
+			t.Fatalf("ref insert (%d,%d): %v", op.U, op.V, err)
+		}
+	}
+	if bat.Weight() != ref.Weight() || bat.ForestSize() != ref.ForestSize() {
+		t.Fatalf("batch (w=%d,s=%d) vs per-edge (w=%d,s=%d)",
+			bat.Weight(), bat.ForestSize(), ref.Weight(), ref.ForestSize())
+	}
+	if fmt.Sprint(forestEdgeSet(bat)) != fmt.Sprint(forestEdgeSet(ref)) {
+		t.Fatal("forests diverge")
+	}
+	checkAll(t, bat)
+
+	// After tree deletions in the same batch, the root kernel must see the
+	// post-deletion tours: remove both edges bridging the two halves (the
+	// non-tree one first, per the plan order, then the tree one — no
+	// replacement remains, so the component splits), then insert one edge
+	// that reconnects (must classify as a link) and one internal heavy edge
+	// (must classify as connected, a no-op).
+	ops2 := []BatchOp{
+		{Del: true, U: 1, V: 5},
+		{Del: true, U: 3, V: 6},
+		{U: 2, V: 6, W: 16},
+		{U: 1, V: 3, W: 400},
+	}
+	for i, err := range bat.ApplyBatch(ops2) {
+		if err != nil {
+			t.Fatalf("batch2 errs[%d] = %v", i, err)
+		}
+	}
+	for _, op := range ops2 {
+		var err error
+		if op.Del {
+			err = ref.DeleteEdge(op.U, op.V)
+		} else {
+			err = ref.InsertEdge(op.U, op.V, op.W)
+		}
+		if err != nil {
+			t.Fatalf("ref op %v: %v", op, err)
+		}
+	}
+	if bat.Weight() != ref.Weight() || fmt.Sprint(forestEdgeSet(bat)) != fmt.Sprint(forestEdgeSet(ref)) {
+		t.Fatal("post-deletion classification diverges from per-edge")
+	}
+	checkAll(t, bat)
+}

@@ -27,17 +27,18 @@ type batchSizes struct {
 	sortItems int // items in the E12 sort-kernel measurement
 	insertN   int // vertices of the end-to-end InsertEdges measurement
 	nontreeN  int // vertices of the E13 non-tree pipeline scenario
+	sparsifyN int // vertices of the E14 sparsified m=16n scenario
 	name      string
 }
 
 func batchSizesFor(sc Scale) batchSizes {
 	switch sc {
 	case Full:
-		return batchSizes{1 << 20, 1 << 12, 1 << 14, "full"}
+		return batchSizes{1 << 20, 1 << 12, 1 << 14, 128, "full"}
 	case Tiny:
-		return batchSizes{1 << 14, 256, 1 << 9, "tiny"}
+		return batchSizes{1 << 14, 256, 1 << 9, 48, "tiny"}
 	}
-	return batchSizes{1 << 18, 1 << 10, 1 << 12, "quick"}
+	return batchSizes{1 << 18, 1 << 10, 1 << 12, 64, "quick"}
 }
 
 // mkSortItems builds the deterministic shuffled input of the sort-kernel
@@ -111,6 +112,141 @@ func timeNontree(n, workers int) float64 {
 	return best / float64(2*len(del))
 }
 
+// mkSparsifyScenario builds the deterministic E14 scenario: an m = 16n
+// dense edge set with distinct weights, plus a mixed update batch of 4n
+// deletions — alternating tree and non-tree edges, as classified on the
+// loaded state — whose reinsertion (same pairs, same weights) restores the
+// loaded state exactly, so rounds repeat without rebuilding.
+func mkSparsifyScenario(n int) (edges []parmsf.Edge, del []parmsf.EdgeKey, ins []parmsf.Edge) {
+	m := 16 * n
+	if max := n * (n - 1) / 2; m > max*3/4 {
+		// Keep the random pair sampling away from the coupon-collector
+		// regime (and termination failure past the complete graph).
+		panic(fmt.Sprintf("experiments: E14 needs n(n-1)/2 >> 16n, got n=%d", n))
+	}
+	rng := xrand.New(uint64(n) + 1611)
+	seen := make(map[[2]int]bool, m)
+	nextW := int64(1000)
+	for len(edges) < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		k := [2]int{u, v}
+		if k[0] > k[1] {
+			k[0], k[1] = k[1], k[0]
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		edges = append(edges, parmsf.Edge{U: u, V: v, W: nextW})
+		nextW++
+	}
+
+	// Classify tree vs non-tree on a scratch sequential forest.
+	f := parmsf.New(n, parmsf.Options{Sparsify: true})
+	if errs := f.InsertEdges(edges); errs != nil {
+		panic("experiments: E14 scenario load failed")
+	}
+	forest := make(map[[2]int]bool, n)
+	f.Edges(func(u, v int, w int64) bool {
+		if u > v {
+			u, v = v, u
+		}
+		forest[[2]int{u, v}] = true
+		return true
+	})
+	var tree, nonTree []parmsf.Edge
+	for _, e := range edges {
+		k := [2]int{e.U, e.V}
+		if k[0] > k[1] {
+			k[0], k[1] = k[1], k[0]
+		}
+		if forest[k] {
+			tree = append(tree, e)
+		} else {
+			nonTree = append(nonTree, e)
+		}
+	}
+	for i := 0; len(ins) < 4*n; i++ {
+		if i < len(tree) && len(ins) < 4*n {
+			del = append(del, parmsf.EdgeKey{U: tree[i].U, V: tree[i].V})
+			ins = append(ins, tree[i])
+		}
+		if i < len(nonTree) && len(ins) < 4*n {
+			del = append(del, parmsf.EdgeKey{U: nonTree[i].U, V: nonTree[i].V})
+			ins = append(ins, nonTree[i])
+		}
+	}
+	return edges, del, ins
+}
+
+// timeSparsify measures one delete-batch/reinsert-batch round of the E14
+// mixed update set on a sparsified forest (best of three, nanoseconds per
+// edge update). With batched=false the same updates run one edge at a time
+// through the per-edge sparsify path.
+func timeSparsify(n, workers int, edges []parmsf.Edge, del []parmsf.EdgeKey, ins []parmsf.Edge, batched bool) float64 {
+	f := parmsf.New(n, parmsf.Options{Sparsify: true, Workers: workers})
+	defer f.Close()
+	if errs := f.InsertEdges(edges); errs != nil {
+		panic("experiments: E14 load failed")
+	}
+	best := -1.0
+	for r := 0; r < 3; r++ {
+		t0 := time.Now()
+		if batched {
+			if errs := f.DeleteEdges(del); errs != nil {
+				panic("experiments: E14 batched delete failed")
+			}
+			if errs := f.InsertEdges(ins); errs != nil {
+				panic("experiments: E14 batched insert failed")
+			}
+		} else {
+			for _, k := range del {
+				if err := f.Delete(k.U, k.V); err != nil {
+					panic(err)
+				}
+			}
+			for _, e := range ins {
+				if err := f.Insert(e.U, e.V, e.W); err != nil {
+					panic(err)
+				}
+			}
+		}
+		if ns := float64(time.Since(t0).Nanoseconds()); best < 0 || ns < best {
+			best = ns
+		}
+	}
+	return best / float64(len(del)+len(ins))
+}
+
+// E14SparsifyBatch — batch-aware sparsification: wall time of mixed update
+// batches on an m = 16n graph through the Section 5 tree, per-edge versus
+// level-parallel batched, across worker counts. The batched path groups
+// pending updates and REdges deltas by node at each level and applies all
+// touched siblings concurrently; even at one worker it wins by batching
+// each node's engine work (one classify round, one aggregate flush, batched
+// ring surgeries) instead of paying per-edge overheads O(log n) times per
+// update. Attainable extra speedup is capped by GOMAXPROCS.
+func E14SparsifyBatch(w io.Writer, sc Scale) {
+	sz := batchSizesFor(sc)
+	n := sz.sparsifyN
+	tb := stats.NewTable(
+		fmt.Sprintf("E14 — sparsify batch path: mixed %d-edge update batches, m=16n, n=%d (GOMAXPROCS=%d)",
+			8*n, n, runtime.GOMAXPROCS(0)),
+		"workers", "per-edge ns/edge", "batched ns/edge", "batched speedup")
+	edges, del, ins := mkSparsifyScenario(n)
+	for _, workers := range []int{1, 2, 4, 8} {
+		pe := timeSparsify(n, workers, edges, del, ins, false)
+		ba := timeSparsify(n, workers, edges, del, ins, true)
+		tb.Row(workers, pe, ba, pe/ba)
+	}
+	tb.Fprint(w)
+	fmt.Fprintln(w, "theory: batched wins at every worker count (shared per-node flushes); the gap widens with workers (level-parallel siblings)")
+	fmt.Fprintln(w)
+}
+
 // E12BatchExecutor — real-concurrency backend: wall-clock scaling of the
 // goroutine worker-pool executor on the batch kernels behind
 // parmsf.InsertEdges. Every other experiment reports simulated depth/work;
@@ -177,20 +313,34 @@ type BatchPoint struct {
 	Speedup float64 `json:"speedup"`
 }
 
-// BatchReport is the machine-readable record of the E12/E13 batch
+// SparsifyPoint is one worker-count measurement of the E14 sparsified
+// mixed-update scenario: nanoseconds per edge update through the per-edge
+// path and through the level-parallel batch path, and the batched path's
+// speedup over per-edge at the same worker count.
+type SparsifyPoint struct {
+	Workers int     `json:"workers"`
+	PerEdge float64 `json:"per_edge_ns_per_edge"`
+	Batched float64 `json:"batched_ns_per_edge"`
+	Speedup float64 `json:"speedup"`
+}
+
+// BatchReport is the machine-readable record of the E12/E13/E14 batch
 // measurements (BENCH_batch.json): per-worker wall times and speedups of
-// the sort kernel, the end-to-end public batch insert, and the core
-// pipeline on independent non-tree updates.
+// the sort kernel, the end-to-end public batch insert, the core pipeline
+// on independent non-tree updates, and the sparsified mixed-update
+// scenario (per-edge vs batched through the Section 5 tree).
 type BatchReport struct {
-	Generated  string       `json:"generated"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Scale      string       `json:"scale"`
-	SortItems  int          `json:"sort_items"`
-	InsertN    int          `json:"insert_n"`
-	NontreeN   int          `json:"nontree_n"`
-	Sort       []BatchPoint `json:"sort_ms"`
-	Insert     []BatchPoint `json:"insert_ns_per_edge"`
-	Nontree    []BatchPoint `json:"nontree_ns_per_edge"`
+	Generated  string          `json:"generated"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Scale      string          `json:"scale"`
+	SortItems  int             `json:"sort_items"`
+	InsertN    int             `json:"insert_n"`
+	NontreeN   int             `json:"nontree_n"`
+	SparsifyN  int             `json:"sparsify_n"`
+	Sort       []BatchPoint    `json:"sort_ms"`
+	Insert     []BatchPoint    `json:"insert_ns_per_edge"`
+	Nontree    []BatchPoint    `json:"nontree_ns_per_edge"`
+	Sparsify   []SparsifyPoint `json:"sparsify_batch"`
 }
 
 // BuildBatchReport runs the E12/E13 measurements and assembles the report.
@@ -203,22 +353,27 @@ func BuildBatchReport(sc Scale) BatchReport {
 		SortItems:  sz.sortItems,
 		InsertN:    sz.insertN,
 		NontreeN:   sz.nontreeN,
+		SparsifyN:  sz.sparsifyN,
 	}
 	src := mkSortItems(sz.sortItems)
 	work := make([]batch.Item, sz.sortItems)
 	edges := mkInsertEdges(sz.insertN)
+	sedges, sdel, sins := mkSparsifyScenario(sz.sparsifyN)
 
 	var s1, i1, n1 float64
 	for _, workers := range []int{1, 2, 4, 8} {
 		st := timeSortKernel(src, work, workers)
 		it := timeBatchInsert(sz.insertN, edges, workers)
 		nt := timeNontree(sz.nontreeN, workers)
+		pe := timeSparsify(sz.sparsifyN, workers, sedges, sdel, sins, false)
+		ba := timeSparsify(sz.sparsifyN, workers, sedges, sdel, sins, true)
 		if workers == 1 {
 			s1, i1, n1 = st, it, nt
 		}
 		rep.Sort = append(rep.Sort, BatchPoint{workers, st / 1e6, s1 / st})
 		rep.Insert = append(rep.Insert, BatchPoint{workers, it, i1 / it})
 		rep.Nontree = append(rep.Nontree, BatchPoint{workers, nt, n1 / nt})
+		rep.Sparsify = append(rep.Sparsify, SparsifyPoint{workers, pe, ba, pe / ba})
 	}
 	return rep
 }

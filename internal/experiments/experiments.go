@@ -73,10 +73,11 @@ var Registry = map[string]func(w io.Writer, sc Scale){
 	"E11": E11ParSparsify,
 	"E12": E12BatchExecutor,
 	"E13": E13BatchPipeline,
+	"E14": E14SparsifyBatch,
 }
 
 // Order is the canonical execution order.
-var Order = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+var Order = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
 
 // sqrtNLogN is the Theorem 1.2 bound shape.
 func sqrtNLogN(n int) float64 {

@@ -106,6 +106,28 @@ func (m *Machine) Broadcast(p int) {
 	m.Steps(r, (p+1)/2)
 }
 
+// Absorb charges depth and work that were accounted on detached machines —
+// e.g. the private per-node simulators of the sparsification tree, whose
+// levels apply their sibling nodes concurrently and merge per-level max
+// depth and summed work back into the shared machine. The caller is
+// responsible for the merged quantities being worker-independent; Absorb
+// itself is plain bookkeeping.
+func (m *Machine) Absorb(time, work int64) {
+	if time <= 0 && work <= 0 {
+		return
+	}
+	if time > 0 {
+		m.Time += time
+		m.stepID += time
+	}
+	if work > 0 {
+		m.Work += work
+	}
+	if m.MaxActive < 1 {
+		m.MaxActive = 1
+	}
+}
+
 // Reset clears counters and recorded violations.
 func (m *Machine) Reset() {
 	m.Time, m.Work, m.MaxActive = 0, 0, 0

@@ -39,6 +39,7 @@ type Factory func(localN, maxEdges int) Engine
 var (
 	ErrExists  = errors.New("sparsify: edge already present")
 	ErrMissing = errors.New("sparsify: edge not present")
+	ErrBadEdge = errors.New("sparsify: invalid edge")
 )
 
 type nodeKey struct {
@@ -55,10 +56,12 @@ type event struct {
 type node struct {
 	key     nodeKey
 	eng     Engine
-	aStart  int // original id of the first vertex of interval a
-	bStart  int // of interval b (== aStart when a == b)
-	span    int // interval size
-	m       int // live local edges
+	be      BatchEngine // eng's batch view (a per-edge adapter when needed)
+	native  bool        // eng implements BatchEngine itself
+	aStart  int         // original id of the first vertex of interval a
+	bStart  int         // of interval b (== aStart when a == b)
+	span    int         // interval size
+	m       int         // live local edges
 	pending []event
 }
 
@@ -89,10 +92,29 @@ type Forest struct {
 	nodes   map[nodeKey]*node
 	edges   map[[2]int]int64
 	// DepthFn, when set, extracts an engine's accumulated parallel depth;
-	// per-update depth is then max over touched levels plus the O(log n)
-	// coordination cost (Section 5.3), accumulated in ParDepth.
+	// per-update depth is then max over touched levels (on the batch path:
+	// max over the concurrently applied siblings of a level, then max over
+	// levels) plus the O(log n) coordination cost (Section 5.3),
+	// accumulated in ParDepth.
 	DepthFn  func(Engine) int64
 	ParDepth int64
+	// WorkFn, when set, extracts an engine's accumulated parallel work;
+	// per-update work is the sum over every touched node plus the O(log n)
+	// coordination cost, accumulated in ParWork.
+	WorkFn  func(Engine) int64
+	ParWork int64
+	// Exec, when set, executes tasks independent node applications of the
+	// batch path — the touched siblings of one level — possibly
+	// concurrently (the composer injects the shared worker pool here). Nil
+	// runs them inline. Tasks touch disjoint node state, so any executor
+	// that completes all tasks before returning preserves determinism.
+	Exec func(tasks int, run func(t int))
+	// BatchNodeOps and PerEdgeNodeOps count node applications of the batch
+	// path that went through a native BatchEngine versus the per-edge
+	// adapter (instrumentation: the acceptance criterion "no per-edge
+	// fallback" is PerEdgeNodeOps == 0).
+	BatchNodeOps   int64
+	PerEdgeNodeOps int64
 }
 
 // New builds an empty sparsification tree over n >= 2 vertices.
@@ -140,11 +162,14 @@ func (f *Forest) keyAt(level, u, v int) nodeKey {
 }
 
 func (f *Forest) getOrCreate(level, u, v int) *node {
-	k := f.keyAt(level, u, v)
+	return f.getOrCreateKey(f.keyAt(level, u, v))
+}
+
+func (f *Forest) getOrCreateKey(k nodeKey) *node {
 	if nd, ok := f.nodes[k]; ok {
 		return nd
 	}
-	span := f.pn >> uint(level)
+	span := f.pn >> uint(k.level)
 	localN := span
 	if k.a != k.b {
 		localN = 2 * span
@@ -158,6 +183,7 @@ func (f *Forest) getOrCreate(level, u, v int) *node {
 	// Local graphs hold unions of up to four child forests plus transient
 	// slack during delta application.
 	nd.eng = f.factory(localN, 2*localN+8)
+	nd.be, nd.native = asBatch(nd.eng)
 	nd.eng.SetEvents(func(lu, lv int, w int64, added bool) {
 		nd.pending = append(nd.pending, event{nd.global(lu), nd.global(lv), w, added})
 	})
@@ -196,15 +222,18 @@ func (f *Forest) apply(nd *node, delta []event) []event {
 // the forest delta of the level below (the paper's per-level "at most one
 // insertion and one deletion").
 func (f *Forest) propagate(u, v int, delta []event) {
-	var depth int64
+	var depth, work int64
 	for level := f.levels - 1; level >= 0; level-- {
 		if len(delta) == 0 {
 			break
 		}
 		nd := f.getOrCreate(level, u, v)
-		var before int64
+		var before, beforeW int64
 		if f.DepthFn != nil {
 			before = f.DepthFn(nd.eng)
+		}
+		if f.WorkFn != nil {
+			beforeW = f.WorkFn(nd.eng)
 		}
 		delta = f.apply(nd, delta)
 		if f.DepthFn != nil {
@@ -212,11 +241,15 @@ func (f *Forest) propagate(u, v int, delta []event) {
 				depth = d
 			}
 		}
+		if f.WorkFn != nil {
+			work += f.WorkFn(nd.eng) - beforeW
+		}
 		f.gc(nd)
 	}
 	// Section 5.3: levels run in parallel; the sequential parts (pointer
 	// walks, REdges scan) cost O(log n).
 	f.ParDepth += depth + 2*int64(f.levels+1)
+	f.ParWork += work + 2*int64(f.levels+1)
 }
 
 // gc removes an emptied node.
@@ -229,7 +262,7 @@ func (f *Forest) gc(nd *node) {
 // InsertEdge adds edge (u, v) with weight w.
 func (f *Forest) InsertEdge(u, v int, w int64) error {
 	if u == v || u < 0 || v < 0 || u >= f.n || v >= f.n {
-		return fmt.Errorf("sparsify: bad edge (%d,%d)", u, v)
+		return ErrBadEdge
 	}
 	k := key(u, v)
 	if _, dup := f.edges[k]; dup {

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 
+	"parmsf/internal/batch"
 	"parmsf/internal/core"
 )
 
@@ -61,6 +62,7 @@ type Wrapper struct {
 	edges  map[[2]int]*edgeRec
 	free   []int32
 	rings  int
+	nslots int           // total live slots across vertices (ring invariant)
 	byslot map[int32]int // gadget slot -> original vertex
 
 	events func(u, v int, w int64, added bool)
@@ -84,6 +86,7 @@ func New(n, maxEdges int, mk func(gadgetN int) Engine) *Wrapper {
 		w.hosted[v] = []*edgeRec{nil}
 		w.byslot[int32(v)] = v
 	}
+	w.nslots = n
 	for id := cap - 1; id >= n; id-- {
 		w.free = append(w.free, int32(id))
 	}
@@ -118,7 +121,7 @@ func key(u, v int) [2]int {
 
 // InsertEdge adds edge (u, v) of weight wt (must be > RingWeight).
 func (w *Wrapper) InsertEdge(u, v int, wt int64) error {
-	rec, err := w.stageInsert(u, v, wt)
+	rec, err := w.stageInsert(u, v, wt, nil)
 	if err != nil {
 		return err
 	}
@@ -128,11 +131,15 @@ func (w *Wrapper) InsertEdge(u, v int, wt int64) error {
 	return nil
 }
 
-// stageInsert validates one insertion, claims its gadget slots (appending
-// ring edges as needed) and records the wrapper bookkeeping; the hosted
-// real edge (rec.su, rec.sv, wt) is left for the caller to apply to the
-// engine — singly (InsertEdge) or as part of a batch (InsertEdges).
-func (w *Wrapper) stageInsert(u, v int, wt int64) (*edgeRec, error) {
+// stageInsert validates one insertion, claims its gadget slots and records
+// the wrapper bookkeeping; the hosted real edge (rec.su, rec.sv, wt) is
+// left for the caller to apply to the engine — singly (InsertEdge) or as
+// part of a batch (InsertEdges). With rings == nil, any ring edge a new
+// slot needs is applied to the engine immediately; with rings non-nil the
+// ring edges are staged into *rings instead, so a whole batch of slot
+// surgeries — independent isolated-vertex links — goes through one
+// gadget-level engine batch.
+func (w *Wrapper) stageInsert(u, v int, wt int64, rings *[]core.BatchOp) (*edgeRec, error) {
 	if u < 0 || u >= w.n || v < 0 || v >= w.n {
 		return nil, ErrVertex
 	}
@@ -149,17 +156,10 @@ func (w *Wrapper) stageInsert(u, v int, wt int64) (*edgeRec, error) {
 	if len(w.free) < 2 {
 		return nil, ErrCapacity
 	}
-	su, newU, err := w.openSlot(u)
-	if err != nil {
-		return nil, err
-	}
-	sv, _, err := w.openSlot(v)
-	if err != nil {
-		if newU {
-			w.closeSlot(u, len(w.slots[u])-1) // roll back u's new slot
-		}
-		return nil, err
-	}
+	// The >= 2 pre-check above guarantees both openSlot calls succeed: each
+	// consumes at most one pool slot.
+	su := w.openSlot(u, rings)
+	sv := w.openSlot(v, rings)
 	rec := &edgeRec{u: k[0], v: k[1], w: wt, su: su, sv: sv}
 	if k[0] == v {
 		rec.su, rec.sv = sv, su
@@ -171,28 +171,31 @@ func (w *Wrapper) stageInsert(u, v int, wt int64) (*edgeRec, error) {
 }
 
 // openSlot returns a slot of x able to host a new edge, appending a slot
-// (and ring edge) when all are busy. The boolean reports whether a new slot
-// was created.
-func (w *Wrapper) openSlot(x int) (int32, bool, error) {
+// (and ring edge) when all are busy. With rings non-nil the ring edge is
+// staged into *rings for a later engine batch instead of being applied
+// immediately. The caller (stageInsert) guarantees a free pool slot.
+func (w *Wrapper) openSlot(x int, rings *[]core.BatchOp) int32 {
 	s, h := w.slots[x], w.hosted[x]
 	if h[0] == nil && len(s) == 1 {
-		return s[0], false, nil // isolated vertex: base slot is free
+		return s[0] // isolated vertex: base slot is free
 	}
 	if len(w.free) == 0 {
-		return 0, false, ErrCapacity
+		panic("ternary: openSlot without a free pool slot")
 	}
 	g := w.free[len(w.free)-1]
 	w.free = w.free[:len(w.free)-1]
 	last := s[len(s)-1]
-	if err := w.eng.InsertEdge(int(last), int(g), RingWeight); err != nil {
-		w.free = append(w.free, g)
+	if rings != nil {
+		*rings = append(*rings, core.BatchOp{U: int(last), V: int(g), W: RingWeight})
+	} else if err := w.eng.InsertEdge(int(last), int(g), RingWeight); err != nil {
 		panic(fmt.Sprintf("ternary: ring insert failed: %v", err))
 	}
 	w.rings++
+	w.nslots++
 	w.slots[x] = append(s, g)
 	w.hosted[x] = append(h, nil)
 	w.byslot[g] = x
-	return g, true, nil
+	return g
 }
 
 // closeSlot removes slot index i of x, which must be the last and unhosted.
@@ -209,6 +212,7 @@ func (w *Wrapper) closeSlot(x, i int) {
 		panic(fmt.Sprintf("ternary: ring delete failed: %v", err))
 	}
 	w.rings--
+	w.nslots--
 	w.slots[x] = s[:i]
 	w.hosted[x] = w.hosted[x][:i]
 	delete(w.byslot, g)
@@ -330,20 +334,22 @@ type BatchEngine interface {
 	ApplyBatch(ops []core.BatchOp) []error
 }
 
-// BatchEdge is one item of a batch insertion through InsertEdges.
-type BatchEdge struct {
-	U, V int
-	W    int64
-}
+// BatchEdge is one item of a batch insertion through InsertEdges — an alias
+// of the shared batch.Edge type, so the wrapper's batch entry points double
+// as the sparsification tree's BatchEngine implementation.
+type BatchEdge = batch.Edge
 
 // InsertEdges inserts a batch of edges in order, returning one error slot
 // per item (nil on success, else the error InsertEdge would have
 // returned). Slot allocation and ring maintenance are sequential wrapper
-// bookkeeping; the hosted real edges are applied as a single engine batch
-// when the engine supports it, which is where the batch pipeline's
-// parallelism lives. With distinct real weights the resulting forest is
-// identical to per-edge insertion (the MSF is unique; ring edges are
-// forced into every gadget MSF).
+// bookkeeping, but the ring-edge slot surgeries — independent
+// isolated-vertex links — are staged and applied inside the same single
+// engine batch as the hosted real edges (each ring precedes the real edge
+// whose slot it opened), so the engine sees one ApplyBatch with one
+// deferred aggregate flush instead of one engine insert per slot. With
+// distinct real weights the resulting forest is identical to per-edge
+// insertion (the MSF is unique; ring edges are forced into every gadget
+// MSF).
 func (w *Wrapper) InsertEdges(items []BatchEdge) []error {
 	errs := make([]error, len(items))
 	be, ok := w.eng.(BatchEngine)
@@ -353,9 +359,9 @@ func (w *Wrapper) InsertEdges(items []BatchEdge) []error {
 		}
 		return errs
 	}
-	ops := make([]core.BatchOp, 0, len(items))
+	ops := make([]core.BatchOp, 0, 2*len(items))
 	for i, it := range items {
-		rec, err := w.stageInsert(it.U, it.V, it.W)
+		rec, err := w.stageInsert(it.U, it.V, it.W, &ops)
 		if err != nil {
 			errs[i] = err
 			continue
@@ -369,7 +375,22 @@ func (w *Wrapper) InsertEdges(items []BatchEdge) []error {
 			}
 		}
 	}
+	w.assertRings()
 	return errs
+}
+
+// assertRings checks the O(1) ring-edge invariants after a batch: every
+// non-base slot carries exactly one ring edge (rings == live slots − n),
+// and — since ring paths are cycle-free and lighter than every real edge,
+// forcing all of them into the gadget MSF — the original-graph forest size
+// implied by the engine stays within [0, n−1].
+func (w *Wrapper) assertRings() {
+	if w.rings != w.nslots-w.n {
+		panic(fmt.Sprintf("ternary: ring invariant: %d rings, %d slots, n=%d", w.rings, w.nslots, w.n))
+	}
+	if fs := w.eng.ForestSize() - w.rings; fs < 0 || fs > w.n-1 {
+		panic(fmt.Sprintf("ternary: ring invariant: implied forest size %d outside [0, %d]", fs, w.n-1))
+	}
 }
 
 // DeleteEdges deletes a batch of edges named by endpoint pairs, returning
@@ -426,6 +447,7 @@ func (w *Wrapper) DeleteEdges(keys [][2]int) []error {
 	for _, x := range vs {
 		w.compactVertex(x)
 	}
+	w.assertRings()
 	return errs
 }
 

@@ -197,3 +197,127 @@ func TestForestEdgesOriginalSpace(t *testing.T) {
 		t.Fatalf("forest edges = %d, want 4", count)
 	}
 }
+
+// TestBatchedRingSurgeries drives the batch entry points (core-backed
+// engine, so rings and real edges go through one gadget ApplyBatch) against
+// per-edge insertion on a high-degree workload, checking forests, gadget
+// bookkeeping, and — implicitly, via the panicking assertRings — the
+// ring-count invariants after every batch.
+func TestBatchedRingSurgeries(t *testing.T) {
+	const n = 24
+	bat := newCoreWrapper(n, 256)
+	ref := newCoreWrapper(n, 256)
+	rng := xrand.New(777)
+	live := map[[2]int]bool{}
+	nextW := int64(1)
+	for round := 0; round < 8; round++ {
+		var ins []BatchEdge
+		seen := map[[2]int]bool{}
+		for len(ins) < 30 {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			k := [2]int{u, v}
+			if k[0] > k[1] {
+				k[0], k[1] = k[1], k[0]
+			}
+			if live[k] || seen[k] {
+				continue
+			}
+			seen[k] = true
+			ins = append(ins, BatchEdge{U: u, V: v, W: nextW})
+			nextW++
+		}
+		// An in-batch duplicate per round keeps the error path hot.
+		ins = append(ins, BatchEdge{U: ins[0].U, V: ins[0].V, W: nextW})
+		nextW++
+		for i, e := range bat.InsertEdges(ins) {
+			want := error(nil)
+			if i == len(ins)-1 {
+				want = ErrExists
+			}
+			if e != want {
+				t.Fatalf("round %d: errs[%d] = %v, want %v", round, i, e, want)
+			}
+			if want == nil {
+				if err := ref.InsertEdge(ins[i].U, ins[i].V, ins[i].W); err != nil {
+					t.Fatalf("ref insert: %v", err)
+				}
+				k := [2]int{ins[i].U, ins[i].V}
+				if k[0] > k[1] {
+					k[0], k[1] = k[1], k[0]
+				}
+				live[k] = true
+			}
+		}
+		if bat.Weight() != ref.Weight() || bat.ForestSize() != ref.ForestSize() {
+			t.Fatalf("round %d: (w=%d,s=%d) vs ref (w=%d,s=%d)",
+				round, bat.Weight(), bat.ForestSize(), ref.Weight(), ref.ForestSize())
+		}
+		if err := bat.CheckGadget(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+
+		// Delete a third of the live edges as one batch.
+		var del [][2]int
+		for k := range live {
+			if len(del) >= 10 {
+				break
+			}
+			del = append(del, k)
+		}
+		for _, k := range del {
+			delete(live, k)
+		}
+		for i, e := range bat.DeleteEdges(del) {
+			if e != nil {
+				t.Fatalf("round %d: delete errs[%d] = %v", round, i, e)
+			}
+			if err := ref.DeleteEdge(del[i][0], del[i][1]); err != nil {
+				t.Fatalf("ref delete: %v", err)
+			}
+		}
+		if bat.Weight() != ref.Weight() {
+			t.Fatalf("round %d after delete: %d vs %d", round, bat.Weight(), ref.Weight())
+		}
+		if err := bat.CheckGadget(); err != nil {
+			t.Fatalf("round %d after delete: %v", round, err)
+		}
+	}
+}
+
+// TestBatchRingCapacity exhausts gadget capacity mid-batch: the tail items
+// must fail with ErrCapacity while every staged slot stays consistent (the
+// closing assertRings and CheckGadget both agree).
+func TestBatchRingCapacity(t *testing.T) {
+	// Pool of n + 2*maxEdges gadget vertices: the star batch runs dry
+	// before its last spoke.
+	w := newCoreWrapper(6, 2)
+	errs := w.InsertEdges([]BatchEdge{
+		{U: 0, V: 1, W: 10},
+		{U: 0, V: 2, W: 11},
+		{U: 0, V: 3, W: 12},
+		{U: 0, V: 4, W: 13},
+		{U: 0, V: 5, W: 14},
+	})
+	sawCapacity := false
+	for _, e := range errs {
+		if e == ErrCapacity {
+			sawCapacity = true
+		}
+	}
+	if !sawCapacity {
+		t.Fatalf("expected a capacity failure, got %v", errs)
+	}
+	if err := w.CheckGadget(); err != nil {
+		t.Fatal(err)
+	}
+	// Still usable after the rollback.
+	if err := w.DeleteEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CheckGadget(); err != nil {
+		t.Fatal(err)
+	}
+}

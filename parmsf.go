@@ -59,7 +59,9 @@ type Options struct {
 	MaxEdges int
 	// Sparsify routes updates through the sparsification tree of Section
 	// 5, making update cost depend on n rather than m. Worthwhile when the
-	// graph is dense.
+	// graph is dense. Batch updates (InsertEdges/DeleteEdges) propagate
+	// through the tree level-by-level, applying all touched sibling nodes
+	// of a level concurrently on the worker pool when Workers is set.
 	Sparsify bool
 	// Parallel runs the core structure's EREW PRAM driver (Section 3).
 	// Depth and work counters are exposed via PRAM().
@@ -83,10 +85,11 @@ type Options struct {
 
 // Forest is a dynamic minimum spanning forest over vertices 0..n-1.
 type Forest struct {
-	n    int
-	eng  engine
-	mach *pram.Machine
-	ch   core.Charger // batch kernels route through this
+	n     int
+	eng   engine
+	mach  *pram.Machine
+	ch    core.Charger     // batch kernels route through this
+	spars *sparsify.Forest // non-nil when Options.Sparsify is set
 }
 
 // engine abstracts the composed pipeline.
@@ -131,13 +134,70 @@ func New(n int, opt Options) *Forest {
 		return core.NewMSF(gn, cfg, core.SeqCharger{})
 	}
 	if opt.Sparsify {
-		f.eng = sparsify.New(n, func(localN, maxEdges int) sparsify.Engine {
-			return ternary.New(localN, maxEdges, mkCore)
-		})
+		var sp *sparsify.Forest
+		if f.mach != nil {
+			// Section 5.3 wiring: every tree node runs the PRAM driver on a
+			// private sequential simulator, so sibling nodes of a level can
+			// apply concurrently on the shared pool (Exec) with no shared
+			// counter state; the tree merges per-level max depth and summed
+			// work through DepthFn/WorkFn, and the public update entry
+			// points absorb those totals back into the shared machine.
+			sp = sparsify.New(n, func(localN, maxEdges int) sparsify.Engine {
+				nm := pram.New(false)
+				return ternary.New(localN, maxEdges, func(gn int) ternary.Engine {
+					return core.NewMSF(gn, core.Config{K: opt.K}, core.PRAMCharger{M: nm})
+				})
+			})
+			sp.DepthFn = func(e sparsify.Engine) int64 {
+				if m := nodeMachine(e); m != nil {
+					return m.Time
+				}
+				return 0
+			}
+			sp.WorkFn = func(e sparsify.Engine) int64 {
+				if m := nodeMachine(e); m != nil {
+					return m.Work
+				}
+				return 0
+			}
+			sp.Exec = func(tasks int, run func(t int)) { f.mach.Run(tasks, run) }
+		} else {
+			sp = sparsify.New(n, func(localN, maxEdges int) sparsify.Engine {
+				return ternary.New(localN, maxEdges, mkCore)
+			})
+		}
+		f.eng = sp
+		f.spars = sp
 	} else {
 		f.eng = ternary.New(n, opt.MaxEdges, mkCore)
 	}
 	return f
+}
+
+// nodeMachine extracts the private PRAM simulator of a sparsification node
+// engine (ternary wrapper over the core structure), or nil.
+func nodeMachine(e sparsify.Engine) *pram.Machine {
+	w, ok := e.(*ternary.Wrapper)
+	if !ok {
+		return nil
+	}
+	m, ok := w.Gadget().(*core.MSF)
+	if !ok {
+		return nil
+	}
+	return m.Machine()
+}
+
+// absorbSpars snapshots the sparsification tree's accumulated Section 5.3
+// depth/work and returns a closure merging the update's delta into the
+// shared machine, so PRAM() keeps reporting the whole pipeline's cost —
+// identically for every worker count.
+func (f *Forest) absorbSpars() func() {
+	if f.spars == nil || f.mach == nil {
+		return func() {}
+	}
+	d0, w0 := f.spars.ParDepth, f.spars.ParWork
+	return func() { f.mach.Absorb(f.spars.ParDepth-d0, f.spars.ParWork-w0) }
 }
 
 // N returns the vertex count.
@@ -146,6 +206,13 @@ func (f *Forest) N() int { return f.n }
 // Insert adds edge (u, v) with weight w and updates the forest. Weights at
 // or below MinWeight are rejected.
 func (f *Forest) Insert(u, v int, w Weight) error {
+	if w < MinWeight {
+		// Rejected up front — the same set the batch validation kernel
+		// rejects — so the sparsification tree never sees a weight its
+		// ternary node engines would refuse mid-propagation.
+		return ErrBadEdge
+	}
+	defer f.absorbSpars()()
 	err := f.eng.InsertEdge(u, v, w)
 	switch err {
 	case nil:
@@ -163,6 +230,7 @@ func (f *Forest) Insert(u, v int, w Weight) error {
 // Delete removes edge (u, v) and updates the forest (finding a replacement
 // when a forest edge is removed).
 func (f *Forest) Delete(u, v int) error {
+	defer f.absorbSpars()()
 	err := f.eng.DeleteEdge(u, v)
 	switch err {
 	case nil:
@@ -184,10 +252,12 @@ type EdgeKey struct {
 	U, V int
 }
 
-// batchEngine is the optional batch interface of the composed engine
-// (implemented by the ternary wrapper over the core structure): it drives
-// whole batches through the staged classify/shard/apply pipeline instead of
-// one engine operation per edge.
+// batchEngine is the optional batch interface of the composed engine: it
+// drives whole batches through the staged classify/shard/apply pipeline
+// instead of one engine operation per edge. The ternary wrapper implements
+// it over the core structure, and the sparsification tree implements it by
+// level-parallel propagation over ternary-wrapped nodes (BatchEdge is an
+// alias of the shared batch.Edge, so one interface covers both).
 type batchEngine interface {
 	InsertEdges(items []ternary.BatchEdge) []error
 	DeleteEdges(keys [][2]int) []error
@@ -201,9 +271,12 @@ type batchEngine interface {
 // quadratic cycle-swap churn inside a batch — and the engine applies the
 // sorted batch with its CAdj effect application sharded across the worker
 // pool (one deduplicated, level-parallel aggregate flush per batch instead
-// of one climb per edge). Application order is deterministic — (weight,
-// endpoints, batch index) — so the resulting forest and the PRAM cost
-// counters are independent of the worker count.
+// of one climb per edge). With Options.Sparsify the sorted batch instead
+// enters the Section 5 tree at its leaf nodes and propagates level-by-level,
+// all touched sibling nodes of a level applying concurrently. Application
+// order is deterministic — (weight, endpoints, batch index) — so the
+// resulting forest and the PRAM cost counters are independent of the worker
+// count.
 //
 // The result is nil when every edge was inserted; otherwise it has one
 // entry per input edge, nil for successes and the same error Insert would
@@ -212,6 +285,7 @@ func (f *Forest) InsertEdges(edges []Edge) []error {
 	if len(edges) == 0 {
 		return nil
 	}
+	defer f.absorbSpars()()
 	errs := make([]error, len(edges))
 	// Validation kernel: one EREW round, one processor per item, each
 	// writing only its own errs cell.
@@ -254,11 +328,11 @@ func (f *Forest) InsertEdges(edges []Edge) []error {
 	return errs
 }
 
-// mapBatchInsertErr translates a ternary batch error to the public error
-// Insert would have returned.
+// mapBatchInsertErr translates an engine batch error (ternary wrapper or
+// sparsification tree) to the public error Insert would have returned.
 func mapBatchInsertErr(err error) error {
 	switch err {
-	case ternary.ErrExists:
+	case ternary.ErrExists, sparsify.ErrExists:
 		return ErrExists
 	case ternary.ErrCapacity:
 		return ErrCapacity
@@ -273,7 +347,9 @@ func mapBatchInsertErr(err error) error {
 // (as one group of concurrently recomputed chunk-pair entries), so no
 // replacement search can ever pick an edge the same batch is about to
 // remove. Tree-edge deletions follow, each running its replacement search
-// through the parallel MWR.
+// through the parallel MWR. With Options.Sparsify the batch propagates
+// through the Section 5 tree level-by-level, replacement promotions riding
+// the same sweep as the deletions that caused them.
 //
 // The result is nil when every edge was deleted; otherwise it has one entry
 // per input key, nil for successes and the error Delete would have returned
@@ -282,6 +358,7 @@ func (f *Forest) DeleteEdges(keys []EdgeKey) []error {
 	if len(keys) == 0 {
 		return nil
 	}
+	defer f.absorbSpars()()
 	errs := make([]error, len(keys))
 	canon := make([]EdgeKey, len(keys))
 	f.ch.ParDo(len(keys), func(i int) {
