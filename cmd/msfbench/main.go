@@ -7,8 +7,9 @@
 //	msfbench                                # run every experiment at quick scale
 //	msfbench -exp E1,E4                     # selected experiments
 //	msfbench -full                          # paper-scale sizes (slower)
+//	msfbench -repeat 7                      # 7 runs per timed section (min + median)
 //	msfbench -exp none -batchjson FILE      # machine-readable batch report only
-//	msfbench -exp E14 -batchjson FILE       # sparsify batch tables + refreshed report
+//	msfbench -exp E14,E15 -batchjson FILE   # sparsify batch tables + refreshed report
 package main
 
 import (
@@ -22,15 +23,21 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E14), 'all', or 'none'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E15), 'all', or 'none'")
 	full := flag.Bool("full", false, "paper-scale sizes")
-	batchJSON := flag.String("batchjson", "", "write the E12/E13 batch measurements as JSON to this path (BENCH_batch.json)")
+	batchJSON := flag.String("batchjson", "", "write the E12-E15 batch measurements as JSON to this path (BENCH_batch.json)")
+	repeat := flag.Int("repeat", 3, "runs per timed section; tables and the batch report carry min + median")
 	flag.Parse()
 
 	scale := experiments.Quick
 	if *full {
 		scale = experiments.Full
 	}
+	if *repeat < 1 {
+		fmt.Fprintln(os.Stderr, "msfbench: -repeat must be >= 1")
+		os.Exit(2)
+	}
+	experiments.Repeat = *repeat
 
 	var ids []string
 	switch strings.ToLower(strings.TrimSpace(*expFlag)) {

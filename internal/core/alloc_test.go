@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"parmsf/internal/pram"
+)
+
+// TestSingleEdgeFastPathAllocs pins the steady-state allocation ceiling of
+// the single-edge fast path (applyOne): a warm non-tree delete + reinsert
+// pair allocates exactly one object — the graph's edge record, which is
+// live data, not dispatch overhead. Everything else on the path (classify,
+// entry-pair scan, deferred flush, normalize) runs on pooled Store scratch
+// and a persistent flush kernel. This is the regression gate for the batch
+// pipeline's scratch pooling; it will fail if a per-op closure or per-op
+// map/slice make sneaks back in.
+func TestSingleEdgeFastPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; gate runs without -race")
+	}
+	mach := pram.New(false)
+	m := NewMSF(64, Config{}, PRAMCharger{M: mach})
+	for i := 0; i < 63; i++ {
+		if err := m.InsertEdge(i, i+1, int64(10+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// (0, 2) closes the triangle 0-1-2 with the heaviest weight, so it
+	// stays a non-tree edge across every reinsertion.
+	if err := m.InsertEdge(0, 2, 1000); err != nil {
+		t.Fatal(err)
+	}
+	cycle := func() {
+		if err := m.DeleteEdge(0, 2); err != nil {
+			panic(err)
+		}
+		if err := m.InsertEdge(0, 2, 1000); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		cycle() // warm the pooled scratch and side tables
+	}
+	if avg := testing.AllocsPerRun(200, cycle); avg > 1 {
+		t.Fatalf("warm non-tree delete+insert pair allocates %v objects, want <= 1 (the graph edge record)", avg)
+	}
+}
+
+// TestBatchApplyWarmAllocs pins the steady-state allocation shape of the
+// batch pipeline itself: a warm ApplyBatch of independent non-tree updates
+// must allocate only per-batch state whose size is independent of how many
+// batches ran before (plan slices, per-item errors, edge records) — the
+// classify/shard/flush stages' working memory is pooled. The ceiling is
+// deliberately loose (a small multiple of the batch size); the gate exists
+// to catch O(batch)-per-stage regressions such as a fresh classify table or
+// flush bucket set per batch.
+func TestBatchApplyWarmAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; gate runs without -race")
+	}
+	mach := pram.New(false)
+	m := NewMSF(256, Config{}, PRAMCharger{M: mach})
+	del, ins := LoadNontreeScenario(m, 256)
+	round := func() {
+		for _, err := range m.ApplyBatch(del) {
+			if err != nil {
+				panic(err)
+			}
+		}
+		for _, err := range m.ApplyBatch(ins) {
+			if err != nil {
+				panic(err)
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		round()
+	}
+	perOp := testing.AllocsPerRun(20, round) / float64(2*len(del))
+	if perOp > 4 {
+		t.Fatalf("warm batch apply allocates %.2f objects per update, want <= 4", perOp)
+	}
+}

@@ -70,16 +70,17 @@ var ErrWeight = errors.New("core: weight must be below Inf")
 
 // InsertEdge adds edge (u, v) with weight w, updating the forest (Section
 // 2.6 / 3.4 insertion). It is a one-element batch of the staged pipeline
-// in plan.go.
+// in plan.go, entered through the allocation-free applyOne fast path.
 func (m *MSF) InsertEdge(u, v int, w Weight) error {
-	return m.ApplyBatch([]BatchOp{{U: u, V: v, W: w}})[0]
+	return m.applyOne(BatchOp{U: u, V: v, W: w})
 }
 
 // DeleteEdge removes edge (u, v), finding a replacement when a tree edge is
 // deleted (Section 2.6 / 3.4 deletion). It is a one-element batch of the
-// staged pipeline in plan.go.
+// staged pipeline in plan.go, entered through the allocation-free applyOne
+// fast path.
 func (m *MSF) DeleteEdge(u, v int) error {
-	return m.ApplyBatch([]BatchOp{{Del: true, U: u, V: v}})[0]
+	return m.applyOne(BatchOp{Del: true, U: u, V: v})
 }
 
 // applyInsert applies one planned insertion on the single-op path: the

@@ -50,14 +50,20 @@ func (st *Store) flushCAdj() {
 	// Collect the union of ancestor paths with each node's depth from its
 	// root. Walks stop at the first already-collected node, so every node
 	// is visited once; order stays deterministic (mark order, leaf to root).
-	depth := make(map[*lsNode]int, 4*len(dirty))
-	var nodes []*lsNode
+	// All bookkeeping lives in pooled Store scratch — a steady-state flush
+	// allocates nothing.
+	if st.flushDepth == nil {
+		st.flushDepth = make(map[*lsNode]int, 64)
+	}
+	depth := st.flushDepth
+	clear(depth)
+	nodes := st.flushNodes[:0]
 	maxDepth := 0
 	for _, c := range dirty {
 		if c.bt == nil || c.leaf == nil {
 			continue // chunk died; its staleness was cleaned by the merge
 		}
-		var path []*lsNode
+		path := st.flushPath[:0]
 		stopDepth := -1
 		for nd := c.leaf.Parent(); nd != nil; nd = nd.Parent() {
 			if d, seen := depth[nd]; seen {
@@ -75,14 +81,28 @@ func (st *Store) flushCAdj() {
 				maxDepth = d
 			}
 		}
+		st.flushPath = path[:0]
 	}
 	if len(nodes) == 0 {
+		st.flushNodes = nodes
 		return
 	}
 
-	buckets := make([][]*lsNode, maxDepth+1)
+	buckets := st.flushBuckets
+	for len(buckets) < maxDepth+1 {
+		buckets = append(buckets, nil)
+	}
+	for d := 0; d <= maxDepth; d++ {
+		buckets[d] = buckets[d][:0]
+	}
 	for _, nd := range nodes {
 		buckets[depth[nd]] = append(buckets[depth[nd]], nd)
+	}
+	if st.flushKernel == nil {
+		// One persistent kernel closure reading the current bucket through
+		// the Store, so a steady-state flush allocates nothing (a closure
+		// literal per round would escape to the heap).
+		st.flushKernel = func(i int) { st.recomputeVec(st.flushCur[i]) }
 	}
 	for d := maxDepth; d >= 0; d-- {
 		b := buckets[d]
@@ -91,6 +111,13 @@ func (st *Store) flushCAdj() {
 		}
 		// One round of J processors per node (the batched UpdateAdj climb).
 		st.ch.Par(1, len(b)*st.J)
-		st.ch.Apply(len(b), func(i int) { st.recomputeVec(b[i]) })
+		st.flushCur = b
+		st.ch.Apply(len(b), st.flushKernel)
+		st.flushCur = nil
+		clear(b) // drop the pointers so pooled capacity pins no nodes
+		buckets[d] = b[:0]
 	}
+	st.flushBuckets = buckets
+	clear(nodes)
+	st.flushNodes = nodes[:0]
 }

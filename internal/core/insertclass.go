@@ -28,7 +28,8 @@ type insertConn struct {
 func (m *MSF) planInsertConnectivity(idx []int, ops []BatchOp) *insertConn {
 	st := m.st
 	k := len(idx)
-	roots := make([]*Tour, 2*k)
+	st.rootScratch = growScratch(st.rootScratch, 2*k)
+	roots := st.rootScratch
 	st.ch.Par(log2ceil(st.n+1), 2*k) // Lemma 3.1 shape: parallel root walks
 	st.ch.Apply(2*k, func(p int) {
 		op := ops[idx[p/2]]
@@ -57,6 +58,9 @@ func (m *MSF) planInsertConnectivity(idx []int, ops []BatchOp) *insertConn {
 		ic.ru[i] = tok(roots[2*i])
 		ic.rv[i] = tok(roots[2*i+1])
 	}
+	// Drop the tour pointers so the pooled scratch does not pin tours that
+	// later surgery retires.
+	clear(roots)
 	return ic
 }
 

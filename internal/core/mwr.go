@@ -158,7 +158,8 @@ func (st *Store) scanChunkForMWR(hat *Chunk, other *Tour) *graph.Edge {
 		strips = n
 	}
 	size := (n + strips - 1) / strips
-	bestIdx := make([]int, strips)
+	st.mwrBest = growScratch(st.mwrBest, strips)
+	bestIdx := st.mwrBest
 	st.ch.Apply(strips, func(p int) {
 		lo, hi := p*size, (p+1)*size
 		if hi > n {

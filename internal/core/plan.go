@@ -75,7 +75,8 @@ func (st *Store) classifyOp(op BatchOp) opClass {
 // of inapplicable items.
 func (m *MSF) planBatch(ops []BatchOp, errs []error) Plan {
 	st := m.st
-	cls := make([]opClass, len(ops))
+	st.clsScratch = growScratch(st.clsScratch, len(ops))
+	cls := st.clsScratch
 	dels := 0
 	st.ch.ParDo(len(ops), func(i int) {
 		cls[i] = st.classifyOp(ops[i])
@@ -86,7 +87,11 @@ func (m *MSF) planBatch(ops []BatchOp, errs []error) Plan {
 		}
 	}
 	if dels > 1 {
-		seen := make(map[[2]int]bool, dels)
+		if st.delSeen == nil {
+			st.delSeen = make(map[[2]int]bool, dels)
+		}
+		seen := st.delSeen
+		clear(seen)
 		for i, op := range ops {
 			if !op.Del || cls[i] == opDelMissing {
 				continue
@@ -159,16 +164,18 @@ func (m *MSF) ApplyBatch(ops []BatchOp) []error {
 	return errs
 }
 
-// applyOne is the one-element fast path of ApplyBatch: identical stages,
-// identical application order and identical charges (a width-1 classify
-// round, then the planned apply and the flush) without the batch
+// applyOne is the one-element batch fast path of ApplyBatch: identical
+// stages, identical application order and identical charges (a width-1
+// classify round, then the planned apply and the flush) without the batch
 // bookkeeping allocations — this is the path behind the single-edge
 // InsertEdge/DeleteEdge wrappers, which the ternary gadget drives once or
-// more per public update.
+// more per public update. The classify round is charged via Par(1, 1) —
+// the exact charge ParDo(1, f) makes — and executed inline, so the fast
+// path builds no kernel closure.
 func (m *MSF) applyOne(op BatchOp) error {
 	st := m.st
-	var cls opClass
-	st.ch.ParDo(1, func(int) { cls = st.classifyOp(op) })
+	st.ch.Par(1, 1)
+	cls := st.classifyOp(op)
 	switch cls {
 	case opDelMissing:
 		return ErrNotFound
@@ -247,9 +254,13 @@ func (m *MSF) applyNonTreeDeletes(idx []int, ops []BatchOp) {
 		return
 	}
 	st := m.st
-	var pairs []entryPair
-	var touched []*Chunk
-	seen := make(map[[2]int32]bool, len(idx))
+	pairs := st.pairScratch[:0]
+	touched := st.touchScratch[:0]
+	if st.pairSeen == nil {
+		st.pairSeen = make(map[[2]int32]bool, len(idx))
+	}
+	seen := st.pairSeen
+	clear(seen)
 	for _, i := range idx {
 		op := ops[i]
 		if _, err := st.g.Delete(op.U, op.V); err != nil {
@@ -289,4 +300,11 @@ func (m *MSF) applyNonTreeDeletes(idx []int, ops []BatchOp) {
 		st.markCAdjDirty(p.b)
 	}
 	st.normalize(touched)
+	// Return the scratch with its pointers dropped, so retired chunks are
+	// not pinned by pool capacity until the next batch. normalize may have
+	// appended split/merge work past touched's length within its capacity,
+	// so the whole capacity is cleared.
+	clear(pairs)
+	clear(touched[:cap(touched)])
+	st.pairScratch, st.touchScratch = pairs[:0], touched[:0]
 }

@@ -92,6 +92,24 @@ type Store struct {
 	pendMark  map[*Chunk]bool
 
 	mwrCands []mwrCand // scratch for the sharded MWR chunk scan
+	mwrBest  []int     // scratch for the per-strip minima of that scan
+
+	// Pooled batch scratch: reused across batches so the hot classify /
+	// shard / flush stages allocate nothing in steady state. Each user
+	// resets its slice to [:0] (or clears its map) on entry, never retains
+	// the contents across calls, and grows capacity monotonically.
+	clsScratch   []opClass         // planBatch: per-op classes
+	delSeen      map[[2]int]bool   // planBatch: duplicate-deletion filter
+	pairScratch  []entryPair       // applyNonTreeDeletes: deduped chunk pairs
+	pairSeen     map[[2]int32]bool // applyNonTreeDeletes: pair filter
+	touchScratch []*Chunk          // applyNonTreeDeletes: touched chunks
+	flushDepth   map[*lsNode]int   // flushCAdj: node -> depth from root
+	flushNodes   []*lsNode         // flushCAdj: union of dirty ancestor paths
+	flushBuckets [][]*lsNode       // flushCAdj: nodes grouped by depth
+	flushPath    []*lsNode         // flushCAdj: one leaf's walk upward
+	flushCur     []*lsNode         // flushCAdj: bucket the kernel reads
+	flushKernel  func(i int)       // flushCAdj: persistent recompute kernel
+	rootScratch  []*Tour           // planInsertConnectivity: endpoint roots
 }
 
 // NewStore builds the structure for graph g (which must be empty: edges are
@@ -257,6 +275,18 @@ func copyOrClear(dst, src []Weight) {
 func setBit(w []uint64, i int) { w[i/64] |= 1 << (uint(i) % 64) }
 
 func hasBit(w []uint64, i int) bool { return w[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// growScratch returns a pooled scratch slice resized to length n, growing
+// capacity only when needed (existing contents beyond the new length are
+// preserved in the backing array for reuse-clearing discipline; new cells
+// are zero). Callers assign the result back to the pooled field so capacity
+// accumulates across batches.
+func growScratch[T any](s []T, n int) []T {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([]T, n-cap(s))...)
+	}
+	return s[:n]
+}
 
 func (st *Store) getVec() *lsVec {
 	if k := len(st.vecPool); k > 0 {

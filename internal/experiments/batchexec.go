@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"parmsf"
@@ -17,17 +18,43 @@ import (
 	"parmsf/internal/xrand"
 )
 
-// The batch measurements are shared by three consumers — the E12/E13 tables
+// The batch measurements are shared by three consumers — the E12-E15 tables
 // and the machine-readable BENCH_batch.json report — through the helpers
 // below, so the human-readable and committed records can never measure
 // different protocols.
+
+// Repeat is the number of times every timed section runs (msfbench
+// -repeat). Each measurement reports the minimum (the steady-state figure
+// speedups are computed from) and the median (the noise check: a median far
+// above the minimum flags an unquiet host).
+var Repeat = 3
+
+// sample is one timed section's aggregate across Repeat runs, nanoseconds.
+type sample struct {
+	Min float64
+	Med float64
+}
+
+// measure runs one timed section Repeat times.
+func measure(run func() float64) sample {
+	r := Repeat
+	if r < 1 {
+		r = 1
+	}
+	vals := make([]float64, r)
+	for i := range vals {
+		vals[i] = run()
+	}
+	sort.Float64s(vals)
+	return sample{Min: vals[0], Med: (vals[(r-1)/2] + vals[r/2]) / 2}
+}
 
 // batchSizes are the per-scale problem sizes of the batch measurements.
 type batchSizes struct {
 	sortItems int // items in the E12 sort-kernel measurement
 	insertN   int // vertices of the end-to-end InsertEdges measurement
 	nontreeN  int // vertices of the E13 non-tree pipeline scenario
-	sparsifyN int // vertices of the E14 sparsified m=16n scenario
+	sparsifyN int // vertices of the E14/E15 sparsified m=16n scenario
 	name      string
 }
 
@@ -63,56 +90,50 @@ func mkInsertEdges(n int) []parmsf.Edge {
 	return edges
 }
 
-// timeSortKernel measures one parallel merge sort of src (best of three,
-// nanoseconds); work is a reusable scratch slice of the same length.
-func timeSortKernel(src, work []batch.Item, workers int) float64 {
+// timeSortKernel measures one parallel merge sort of src (min/median over
+// Repeat, nanoseconds); work is a reusable scratch slice of the same length.
+func timeSortKernel(src, work []batch.Item, workers int) sample {
 	m := pram.NewParallel(workers)
 	defer m.Close()
-	best := -1.0
-	for r := 0; r < 3; r++ {
+	return measure(func() float64 {
 		copy(work, src)
 		t0 := time.Now()
 		batch.Sort(m, work)
-		if ns := float64(time.Since(t0).Nanoseconds()); best < 0 || ns < best {
-			best = ns
-		}
-	}
-	return best
+		return float64(time.Since(t0).Nanoseconds())
+	})
 }
 
-// timeBatchInsert measures one end-to-end InsertEdges of the batch into an
-// empty forest (nanoseconds per edge).
-func timeBatchInsert(n int, edges []parmsf.Edge, workers int) float64 {
-	f := parmsf.New(n, parmsf.Options{MaxEdges: 4 * n, Workers: workers})
-	defer f.Close()
-	t0 := time.Now()
-	if errs := f.InsertEdges(edges); errs != nil {
-		panic(fmt.Sprintf("experiments: batch insert errors: %v", errs))
-	}
-	return float64(time.Since(t0).Nanoseconds()) / float64(len(edges))
+// timeBatchInsert measures one end-to-end InsertEdges of the batch into a
+// fresh empty forest (min/median over Repeat, nanoseconds per edge).
+func timeBatchInsert(n int, edges []parmsf.Edge, workers int) sample {
+	return measure(func() float64 {
+		f := parmsf.New(n, parmsf.Options{MaxEdges: 4 * n, Workers: workers})
+		defer f.Close()
+		t0 := time.Now()
+		if errs := f.InsertEdges(edges); errs != nil {
+			panic(fmt.Sprintf("experiments: batch insert errors: %v", errs))
+		}
+		return float64(time.Since(t0).Nanoseconds()) / float64(len(edges))
+	})
 }
 
 // timeNontree measures one delete-all/reinsert-all round of the independent
-// non-tree update scenario through the staged pipeline (best of three,
-// nanoseconds per edge update).
-func timeNontree(n, workers int) float64 {
+// non-tree update scenario through the staged pipeline (min/median over
+// Repeat, nanoseconds per edge update).
+func timeNontree(n, workers int) sample {
 	mach := pram.NewParallel(workers)
 	defer mach.Close()
 	m := core.NewMSF(n, core.Config{}, core.PRAMCharger{M: mach})
 	del, ins := core.LoadNontreeScenario(m, n)
-	best := -1.0
-	for r := 0; r < 3; r++ {
+	return measure(func() float64 {
 		t0 := time.Now()
 		m.ApplyBatch(del)
 		m.ApplyBatch(ins)
-		if ns := float64(time.Since(t0).Nanoseconds()); best < 0 || ns < best {
-			best = ns
-		}
-	}
-	return best / float64(2*len(del))
+		return float64(time.Since(t0).Nanoseconds()) / float64(2*len(del))
+	})
 }
 
-// mkSparsifyScenario builds the deterministic E14 scenario: an m = 16n
+// mkSparsifyScenario builds the deterministic E14/E15 scenario: an m = 16n
 // dense edge set with distinct weights, plus a mixed update batch of 4n
 // deletions — alternating tree and non-tree edges, as classified on the
 // loaded state — whose reinsertion (same pairs, same weights) restores the
@@ -183,17 +204,16 @@ func mkSparsifyScenario(n int) (edges []parmsf.Edge, del []parmsf.EdgeKey, ins [
 }
 
 // timeSparsify measures one delete-batch/reinsert-batch round of the E14
-// mixed update set on a sparsified forest (best of three, nanoseconds per
-// edge update). With batched=false the same updates run one edge at a time
-// through the per-edge sparsify path.
-func timeSparsify(n, workers int, edges []parmsf.Edge, del []parmsf.EdgeKey, ins []parmsf.Edge, batched bool) float64 {
+// mixed update set on a sparsified forest (min/median over Repeat,
+// nanoseconds per edge update). With batched=false the same updates run one
+// edge at a time through the per-edge sparsify path.
+func timeSparsify(n, workers int, edges []parmsf.Edge, del []parmsf.EdgeKey, ins []parmsf.Edge, batched bool) sample {
 	f := parmsf.New(n, parmsf.Options{Sparsify: true, Workers: workers})
 	defer f.Close()
 	if errs := f.InsertEdges(edges); errs != nil {
 		panic("experiments: E14 load failed")
 	}
-	best := -1.0
-	for r := 0; r < 3; r++ {
+	return measure(func() float64 {
 		t0 := time.Now()
 		if batched {
 			if errs := f.DeleteEdges(del); errs != nil {
@@ -214,36 +234,106 @@ func timeSparsify(n, workers int, edges []parmsf.Edge, del []parmsf.EdgeKey, ins
 				}
 			}
 		}
-		if ns := float64(time.Since(t0).Nanoseconds()); best < 0 || ns < best {
-			best = ns
+		return float64(time.Since(t0).Nanoseconds()) / float64(len(del)+len(ins))
+	})
+}
+
+// timeSparsifySched measures one delete-batch/reinsert-batch round of the
+// E14 mixed update set directly on a sparsification tree under the chosen
+// batch scheduler — the strict level-barrier sweep or the dependency-driven
+// pipeline — with node tasks on a worker pool of the given size (min/median
+// over Repeat, nanoseconds per edge update). Bypassing the public wrapper
+// isolates the scheduler: both modes share identical node engines,
+// identical coalescing and identical batches, so the difference is purely
+// barrier stalls plus dispatch overhead.
+func timeSparsifySched(n, workers int, edges []parmsf.Edge, del []parmsf.EdgeKey, ins []parmsf.Edge, pipelined bool) sample {
+	mach := pram.NewParallel(workers)
+	defer mach.Close()
+	f, closeTasks := newBatchSparsifyTree(n, mach, pipelined)
+	defer closeTasks()
+	bedges := make([]batch.Edge, len(edges))
+	for i, e := range edges {
+		bedges[i] = batch.Edge{U: e.U, V: e.V, W: e.W}
+	}
+	bdel := make([][2]int, len(del))
+	for i, k := range del {
+		bdel[i] = [2]int{k.U, k.V}
+	}
+	bins := make([]batch.Edge, len(ins))
+	for i, e := range ins {
+		bins[i] = batch.Edge{U: e.U, V: e.V, W: e.W}
+	}
+	if errs := f.InsertEdges(bedges); errs != nil {
+		for _, err := range errs {
+			if err != nil {
+				panic(fmt.Sprintf("experiments: E15 load failed: %v", err))
+			}
 		}
 	}
-	return best / float64(len(del)+len(ins))
+	return measure(func() float64 {
+		t0 := time.Now()
+		for _, err := range f.DeleteEdges(bdel) {
+			if err != nil {
+				panic(fmt.Sprintf("experiments: E15 delete failed: %v", err))
+			}
+		}
+		for _, err := range f.InsertEdges(bins) {
+			if err != nil {
+				panic(fmt.Sprintf("experiments: E15 insert failed: %v", err))
+			}
+		}
+		return float64(time.Since(t0).Nanoseconds()) / float64(len(bdel)+len(bins))
+	})
 }
 
 // E14SparsifyBatch — batch-aware sparsification: wall time of mixed update
 // batches on an m = 16n graph through the Section 5 tree, per-edge versus
-// level-parallel batched, across worker counts. The batched path groups
-// pending updates and REdges deltas by node at each level and applies all
-// touched siblings concurrently; even at one worker it wins by batching
-// each node's engine work (one classify round, one aggregate flush, batched
-// ring surgeries) instead of paying per-edge overheads O(log n) times per
-// update. Attainable extra speedup is capped by GOMAXPROCS.
+// batched, across worker counts. The batched path groups pending updates
+// and REdges deltas by node and applies independent nodes concurrently;
+// even at one worker it wins by batching each node's engine work (one
+// classify round, one aggregate flush, batched ring surgeries) instead of
+// paying per-edge overheads O(log n) times per update. Attainable extra
+// speedup is capped by GOMAXPROCS.
 func E14SparsifyBatch(w io.Writer, sc Scale) {
 	sz := batchSizesFor(sc)
 	n := sz.sparsifyN
 	tb := stats.NewTable(
-		fmt.Sprintf("E14 — sparsify batch path: mixed %d-edge update batches, m=16n, n=%d (GOMAXPROCS=%d)",
-			8*n, n, runtime.GOMAXPROCS(0)),
-		"workers", "per-edge ns/edge", "batched ns/edge", "batched speedup")
+		fmt.Sprintf("E14 — sparsify batch path: mixed %d-edge update batches, m=16n, n=%d (GOMAXPROCS=%d, repeat=%d)",
+			8*n, n, runtime.GOMAXPROCS(0), Repeat),
+		"workers", "per-edge ns/edge", "(med)", "batched ns/edge", "(med)", "batched speedup")
 	edges, del, ins := mkSparsifyScenario(n)
 	for _, workers := range []int{1, 2, 4, 8} {
 		pe := timeSparsify(n, workers, edges, del, ins, false)
 		ba := timeSparsify(n, workers, edges, del, ins, true)
-		tb.Row(workers, pe, ba, pe/ba)
+		tb.Row(workers, pe.Min, pe.Med, ba.Min, ba.Med, pe.Min/ba.Min)
 	}
 	tb.Fprint(w)
-	fmt.Fprintln(w, "theory: batched wins at every worker count (shared per-node flushes); the gap widens with workers (level-parallel siblings)")
+	fmt.Fprintln(w, "theory: batched wins at every worker count (shared per-node flushes); the gap widens with workers (concurrent independent nodes)")
+	fmt.Fprintln(w)
+}
+
+// E15SparsifyPipeline — pipelined sparsification scheduler: wall time of
+// the same mixed update batches through the Section 5 tree under the strict
+// level-barrier sweep versus the dependency-driven pipeline, across worker
+// counts. The barrier holds every level for its slowest sibling; the
+// pipeline lets a parent apply as soon as its own children drained into it,
+// overlapping a fast level's tail with the next level's head. Identical
+// node engines and batches — the measured difference is scheduler-only.
+func E15SparsifyPipeline(w io.Writer, sc Scale) {
+	sz := batchSizesFor(sc)
+	n := sz.sparsifyN
+	tb := stats.NewTable(
+		fmt.Sprintf("E15 — sparsify schedulers: mixed %d-edge update batches, m=16n, n=%d (GOMAXPROCS=%d, repeat=%d)",
+			8*n, n, runtime.GOMAXPROCS(0), Repeat),
+		"workers", "barrier ns/edge", "(med)", "pipelined ns/edge", "(med)", "pipeline speedup")
+	edges, del, ins := mkSparsifyScenario(n)
+	for _, workers := range []int{1, 2, 4, 8} {
+		ba := timeSparsifySched(n, workers, edges, del, ins, false)
+		pi := timeSparsifySched(n, workers, edges, del, ins, true)
+		tb.Row(workers, ba.Min, ba.Med, pi.Min, pi.Med, ba.Min/pi.Min)
+	}
+	tb.Fprint(w)
+	fmt.Fprintln(w, "theory: >= 1.0 with real cores (the pipeline removes barrier stalls; the gap widens with workers and sibling imbalance); ~1.0 within noise on single-core hosts, where there is nothing to overlap")
 	fmt.Fprintln(w)
 }
 
@@ -257,9 +347,9 @@ func E14SparsifyBatch(w io.Writer, sc Scale) {
 func E12BatchExecutor(w io.Writer, sc Scale) {
 	sz := batchSizesFor(sc)
 	tb := stats.NewTable(
-		fmt.Sprintf("E12 — goroutine executor: batch kernel wall time (%d-item sort, n=%d batch insert, GOMAXPROCS=%d)",
-			sz.sortItems, sz.insertN, runtime.GOMAXPROCS(0)),
-		"workers", "sort ms", "sort speedup", "insert ns/edge", "insert speedup")
+		fmt.Sprintf("E12 — goroutine executor: batch kernel wall time (%d-item sort, n=%d batch insert, GOMAXPROCS=%d, repeat=%d)",
+			sz.sortItems, sz.insertN, runtime.GOMAXPROCS(0), Repeat),
+		"workers", "sort ms", "(med)", "sort speedup", "insert ns/edge", "(med)", "insert speedup")
 
 	src := mkSortItems(sz.sortItems)
 	work := make([]batch.Item, sz.sortItems)
@@ -270,9 +360,9 @@ func E12BatchExecutor(w io.Writer, sc Scale) {
 		st := timeSortKernel(src, work, workers)
 		it := timeBatchInsert(sz.insertN, edges, workers)
 		if workers == 1 {
-			sort1, ins1 = st, it
+			sort1, ins1 = st.Min, it.Min
 		}
-		tb.Row(workers, st/1e6, sort1/st, it, ins1/it)
+		tb.Row(workers, st.Min/1e6, st.Med/1e6, sort1/st.Min, it.Min, it.Med, ins1/it.Min)
 	}
 	tb.Fprint(w)
 	fmt.Fprintln(w, "theory: sort speedup ~ min(workers, cores); insert speedup capped by the sequential slot/ring stage (Amdahl)")
@@ -288,16 +378,16 @@ func E12BatchExecutor(w io.Writer, sc Scale) {
 func E13BatchPipeline(w io.Writer, sc Scale) {
 	sz := batchSizesFor(sc)
 	tb := stats.NewTable(
-		fmt.Sprintf("E13 — batch pipeline: independent non-tree updates (n=%d, GOMAXPROCS=%d)",
-			sz.nontreeN, runtime.GOMAXPROCS(0)),
-		"workers", "apply ns/edge", "speedup")
+		fmt.Sprintf("E13 — batch pipeline: independent non-tree updates (n=%d, GOMAXPROCS=%d, repeat=%d)",
+			sz.nontreeN, runtime.GOMAXPROCS(0), Repeat),
+		"workers", "apply ns/edge", "(med)", "speedup")
 	var base float64
 	for _, workers := range []int{1, 2, 4, 8} {
 		ns := timeNontree(sz.nontreeN, workers)
 		if workers == 1 {
-			base = ns
+			base = ns.Min
 		}
-		tb.Row(workers, ns, base/ns)
+		tb.Row(workers, ns.Min, ns.Med, base/ns.Min)
 	}
 	tb.Fprint(w)
 	fmt.Fprintln(w, "theory: apply speedup ~ min(workers, cores) on the sharded scan + flush stages; ~1.0 on single-core hosts")
@@ -306,32 +396,56 @@ func E13BatchPipeline(w io.Writer, sc Scale) {
 
 // BatchPoint is one worker-count measurement of a batch stage; Value's
 // unit is carried by the enclosing array's key (sort_ms: milliseconds,
-// insert_ns_per_edge / nontree_ns_per_edge: nanoseconds per edge).
+// insert_ns_per_edge / nontree_ns_per_edge: nanoseconds per edge). Value is
+// the minimum across -repeat runs, Median the median; GOMAXPROCS records
+// the host parallelism the entry ran under, so single-core and multi-core
+// snapshots stay distinguishable after they are copied around.
 type BatchPoint struct {
-	Workers int     `json:"workers"`
-	Value   float64 `json:"value"`
-	Speedup float64 `json:"speedup"`
+	Workers    int     `json:"workers"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Value      float64 `json:"value"`
+	Median     float64 `json:"median"`
+	Speedup    float64 `json:"speedup"`
 }
 
 // SparsifyPoint is one worker-count measurement of the E14 sparsified
 // mixed-update scenario: nanoseconds per edge update through the per-edge
-// path and through the level-parallel batch path, and the batched path's
-// speedup over per-edge at the same worker count.
+// path and through the batched tree path (minima across -repeat runs), and
+// the batched path's speedup over per-edge at the same worker count.
 type SparsifyPoint struct {
-	Workers int     `json:"workers"`
-	PerEdge float64 `json:"per_edge_ns_per_edge"`
-	Batched float64 `json:"batched_ns_per_edge"`
-	Speedup float64 `json:"speedup"`
+	Workers    int     `json:"workers"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	PerEdge    float64 `json:"per_edge_ns_per_edge"`
+	PerEdgeMed float64 `json:"per_edge_median"`
+	Batched    float64 `json:"batched_ns_per_edge"`
+	BatchedMed float64 `json:"batched_median"`
+	Speedup    float64 `json:"speedup"`
 }
 
-// BatchReport is the machine-readable record of the E12/E13/E14 batch
+// PipelinePoint is one worker-count measurement of the E15 scheduler
+// comparison: nanoseconds per edge update through the level-barrier sweep
+// and through the dependency-driven pipeline (minima across -repeat runs),
+// and the pipeline's speedup over the barrier at the same worker count.
+type PipelinePoint struct {
+	Workers      int     `json:"workers"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Barrier      float64 `json:"barrier_ns_per_edge"`
+	BarrierMed   float64 `json:"barrier_median"`
+	Pipelined    float64 `json:"pipelined_ns_per_edge"`
+	PipelinedMed float64 `json:"pipelined_median"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// BatchReport is the machine-readable record of the E12-E15 batch
 // measurements (BENCH_batch.json): per-worker wall times and speedups of
 // the sort kernel, the end-to-end public batch insert, the core pipeline
-// on independent non-tree updates, and the sparsified mixed-update
-// scenario (per-edge vs batched through the Section 5 tree).
+// on independent non-tree updates, the sparsified mixed-update scenario
+// (per-edge vs batched through the Section 5 tree), and the scheduler
+// comparison (level barrier vs dependency pipeline).
 type BatchReport struct {
 	Generated  string          `json:"generated"`
 	GOMAXPROCS int             `json:"gomaxprocs"`
+	Repeat     int             `json:"repeat"`
 	Scale      string          `json:"scale"`
 	SortItems  int             `json:"sort_items"`
 	InsertN    int             `json:"insert_n"`
@@ -341,14 +455,17 @@ type BatchReport struct {
 	Insert     []BatchPoint    `json:"insert_ns_per_edge"`
 	Nontree    []BatchPoint    `json:"nontree_ns_per_edge"`
 	Sparsify   []SparsifyPoint `json:"sparsify_batch"`
+	Pipeline   []PipelinePoint `json:"sparsify_pipeline"`
 }
 
-// BuildBatchReport runs the E12/E13 measurements and assembles the report.
+// BuildBatchReport runs the E12-E15 measurements and assembles the report.
 func BuildBatchReport(sc Scale) BatchReport {
 	sz := batchSizesFor(sc)
+	gmp := runtime.GOMAXPROCS(0)
 	rep := BatchReport{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOMAXPROCS: gmp,
+		Repeat:     Repeat,
 		Scale:      sz.name,
 		SortItems:  sz.sortItems,
 		InsertN:    sz.insertN,
@@ -367,13 +484,16 @@ func BuildBatchReport(sc Scale) BatchReport {
 		nt := timeNontree(sz.nontreeN, workers)
 		pe := timeSparsify(sz.sparsifyN, workers, sedges, sdel, sins, false)
 		ba := timeSparsify(sz.sparsifyN, workers, sedges, sdel, sins, true)
+		sb := timeSparsifySched(sz.sparsifyN, workers, sedges, sdel, sins, false)
+		sp := timeSparsifySched(sz.sparsifyN, workers, sedges, sdel, sins, true)
 		if workers == 1 {
-			s1, i1, n1 = st, it, nt
+			s1, i1, n1 = st.Min, it.Min, nt.Min
 		}
-		rep.Sort = append(rep.Sort, BatchPoint{workers, st / 1e6, s1 / st})
-		rep.Insert = append(rep.Insert, BatchPoint{workers, it, i1 / it})
-		rep.Nontree = append(rep.Nontree, BatchPoint{workers, nt, n1 / nt})
-		rep.Sparsify = append(rep.Sparsify, SparsifyPoint{workers, pe, ba, pe / ba})
+		rep.Sort = append(rep.Sort, BatchPoint{workers, gmp, st.Min / 1e6, st.Med / 1e6, s1 / st.Min})
+		rep.Insert = append(rep.Insert, BatchPoint{workers, gmp, it.Min, it.Med, i1 / it.Min})
+		rep.Nontree = append(rep.Nontree, BatchPoint{workers, gmp, nt.Min, nt.Med, n1 / nt.Min})
+		rep.Sparsify = append(rep.Sparsify, SparsifyPoint{workers, gmp, pe.Min, pe.Med, ba.Min, ba.Med, pe.Min / ba.Min})
+		rep.Pipeline = append(rep.Pipeline, PipelinePoint{workers, gmp, sb.Min, sb.Med, sp.Min, sp.Med, sb.Min / sp.Min})
 	}
 	return rep
 }

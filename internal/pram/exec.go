@@ -2,17 +2,26 @@ package pram
 
 import (
 	"runtime"
-	"sync"
+	"sync/atomic"
 )
 
 // This file adds the real-concurrency backend of the machine: a persistent
-// goroutine worker pool that executes Step/Run kernels across OS threads
+// set of worker run loops that execute Step/Run kernels across OS threads
 // with a synchronous barrier per round. Machines from New simulate rounds
 // sequentially; machines from NewParallel fan each round out over the pool.
 // Cost accounting (Time, Work, MaxActive) is identical for both backends —
 // the executor changes only how long a round takes on the wall clock, never
 // what it is charged on the model — so a workload driven through a
 // sequential and a parallel machine must report identical counters.
+//
+// Dispatch is allocation-free in steady state: a round is published by
+// writing a reusable descriptor (kernel, width, chunk size) into the pool
+// and storing one atomic cursor word, chunks are claimed by compare-and-swap
+// on that cursor (no channel sends, no per-round WaitGroup), and completion
+// is a single atomic countdown observed by the dispatcher, which spins
+// briefly and then parks on a pre-allocated semaphore channel. Workers
+// likewise spin on the round sequence before parking, so back-to-back
+// rounds never pay a scheduler wakeup.
 
 // NewParallel returns a machine whose kernels execute for real across a
 // pool of `workers` goroutines (workers <= 0 selects GOMAXPROCS). EREW
@@ -44,9 +53,9 @@ func (m *Machine) Workers() int {
 	return m.workers
 }
 
-// Close releases the worker pool. The machine remains usable afterwards:
-// kernels simply run sequentially. Safe on sequential machines and safe to
-// call twice.
+// Close releases the worker goroutines. The machine remains usable
+// afterwards: kernels simply run sequentially. Safe on sequential machines
+// and safe to call twice.
 func (m *Machine) Close() {
 	if m.pool != nil {
 		m.pool.close()
@@ -65,7 +74,7 @@ func (m *Machine) Run(active int, f func(p int)) {
 		return
 	}
 	if m.pool != nil && !m.Check && active > 1 {
-		m.pool.run(active, f)
+		m.pool.run(active, f, nil)
 		return
 	}
 	for p := 0; p < active; p++ {
@@ -76,11 +85,11 @@ func (m *Machine) Run(active int, f func(p int)) {
 // RunRanges executes f over contiguous subranges [lo, hi) covering [0, n)
 // on the executor without charging Time or Work. It is the range-shaped
 // sibling of Run for vector kernels: a tight loop over a subrange amortizes
-// the per-task dispatch cost that a per-index Run would pay n times. The
-// number of ranges follows the worker count (one dispatch per pool chunk),
-// so — like Run — it must only be used for kernels whose model cost is
-// charged separately and whose result is independent of the partition
-// (disjoint writes per index).
+// the per-index call cost that a per-index Run would pay n times, and the
+// pool executes each chunk as one f(lo, hi) call (no per-task closures).
+// The partition follows the worker count, so — like Run — it must only be
+// used for kernels whose model cost is charged separately and whose result
+// is independent of the partition (disjoint writes per index).
 func (m *Machine) RunRanges(n int, f func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -89,91 +98,229 @@ func (m *Machine) RunRanges(n int, f func(lo, hi int)) {
 		f(0, n)
 		return
 	}
-	chunks := m.pool.workers * chunksPerWorker
-	if chunks > n {
-		chunks = n
-	}
-	size := (n + chunks - 1) / chunks
-	tasks := (n + size - 1) / size
-	m.pool.run(tasks, func(t int) {
-		lo := t * size
-		hi := lo + size
-		if hi > n {
-			hi = n
-		}
-		f(lo, hi)
-	})
+	m.pool.run(n, nil, f)
 }
 
-// rangeFanMin is the width below which RunRanges runs inline: dispatching a
-// round to the pool costs on the order of microseconds, so tiny vector
-// loops are cheaper on the host.
+// rangeFanMin is the width below which RunRanges runs inline: even with the
+// allocation-free dispatch, publishing a round and waking the pool costs on
+// the order of a microsecond, so tiny vector loops are cheaper on the host.
 const rangeFanMin = 1 << 11
 
 // chunksPerWorker over-decomposes each round for load balance: a worker
-// that finishes a cheap chunk steals the next instead of idling at the
-// barrier behind a slow one.
+// that finishes a cheap chunk claims the next from the shared cursor
+// instead of idling at the barrier behind a slow one.
 const chunksPerWorker = 4
 
-// pool is a fixed set of worker goroutines consuming chunk jobs. One pool
-// serves one machine; rounds are serialized by the caller (the machine is
-// not itself safe for concurrent Step calls, matching the synchronous PRAM
-// model).
-type pool struct {
-	workers int
-	jobs    chan poolJob
-	once    sync.Once
-}
+// Spin budgets before parking. Workers spin on the round sequence between
+// rounds and the dispatcher spins on the countdown barrier, so a burst of
+// back-to-back rounds runs without any futex traffic; both yield to the
+// scheduler while spinning so single-P hosts (GOMAXPROCS=1) make progress.
+const (
+	idleSpin = 1 << 7
+	doneSpin = 1 << 7
+)
 
-type poolJob struct {
-	lo, hi int
+// pool is a fixed set of persistent worker run loops plus the dispatching
+// caller, which participates in every round. One pool serves one machine;
+// rounds are serialized by the caller (the machine is not itself safe for
+// concurrent Step calls, matching the synchronous PRAM model).
+type pool struct {
+	workers int // total parallelism: (workers-1) loops + the dispatcher
+
+	// Round descriptor, written by the dispatcher strictly before the
+	// cursor is stored (the cursor store publishes it): exactly one of
+	// f / fr is non-nil per round.
 	f      func(p int)
-	done   *sync.WaitGroup
+	fr     func(lo, hi int)
+	active int // processors [0, active)
+	size   int // indices per chunk
+
+	// cursor packs the round's chunk geometry into one word:
+	// high 32 bits = chunk count, low 32 bits = next unclaimed chunk.
+	// Claiming is a CAS on the whole word, so a claim is always against
+	// the current round — between rounds the cursor reads as exhausted
+	// (idx == nchunks), and a stale worker that lost the race simply
+	// finds nothing to do.
+	cursor  atomic.Uint64
+	pending atomic.Int64 // chunks not yet completed (countdown barrier)
+
+	// seq is bumped once per round to wake idle workers; parked state uses
+	// one flag + one pre-allocated semaphore channel per sleeper so a wake
+	// is a flag swap and (only when actually parked) one channel send.
+	seq      atomic.Uint64
+	sleeping []atomic.Int32
+	wake     []chan struct{}
+	parked   atomic.Int32 // dispatcher parked on done
+	done     chan struct{}
+
+	inRound atomic.Bool // re-entrancy guard: nested run() executes inline
+	closed  atomic.Bool
 }
 
 func newPool(workers int) *pool {
 	pl := &pool{
-		workers: workers,
-		// Buffer one full round of chunks so the dispatcher never blocks
-		// on a send mid-round.
-		jobs: make(chan poolJob, workers*chunksPerWorker),
+		workers:  workers,
+		sleeping: make([]atomic.Int32, workers-1),
+		wake:     make([]chan struct{}, workers-1),
+		done:     make(chan struct{}, 1),
 	}
-	for i := 0; i < workers; i++ {
-		go pl.worker()
+	for i := range pl.wake {
+		pl.wake[i] = make(chan struct{}, 1)
+		go pl.loop(i)
 	}
 	return pl
 }
 
-func (pl *pool) worker() {
-	for j := range pl.jobs {
-		for p := j.lo; p < j.hi; p++ {
-			j.f(p)
-		}
-		j.done.Done()
-	}
-}
-
 // run fans processors [0, active) out over the pool and waits for the
-// barrier. Chunks are contiguous ranges so each worker touches memory in
-// increasing-p order.
-func (pl *pool) run(active int, f func(p int)) {
-	chunks := pl.workers * chunksPerWorker
-	if chunks > active {
-		chunks = active
-	}
-	size := (active + chunks - 1) / chunks
-	var done sync.WaitGroup
-	for lo := 0; lo < active; lo += size {
-		hi := lo + size
-		if hi > active {
-			hi = active
+// barrier. Chunks are contiguous ranges so each claimant touches memory in
+// increasing-p order; the dispatcher claims chunks alongside the workers.
+// Exactly one of f / fr is non-nil: f is called per index, fr once per
+// chunk with the chunk's [lo, hi) bounds.
+func (pl *pool) run(active int, f func(p int), fr func(lo, hi int)) {
+	if !pl.inRound.CompareAndSwap(false, true) {
+		// Nested dispatch from inside a kernel: execute inline. Kernels on
+		// this machine are EREW-clean, so inline execution is always valid.
+		if fr != nil {
+			fr(0, active)
+			return
 		}
-		done.Add(1)
-		pl.jobs <- poolJob{lo: lo, hi: hi, f: f, done: &done}
+		for p := 0; p < active; p++ {
+			f(p)
+		}
+		return
 	}
-	done.Wait()
+	nchunks := pl.workers * chunksPerWorker
+	if nchunks > active {
+		nchunks = active
+	}
+	size := (active + nchunks - 1) / nchunks
+	nchunks = (active + size - 1) / size
+
+	pl.f, pl.fr, pl.active, pl.size = f, fr, active, size
+	pl.pending.Store(int64(nchunks))
+	pl.cursor.Store(uint64(nchunks) << 32) // publish: geometry up, idx 0
+	pl.seq.Add(1)
+	// Wake at most nchunks-1 sleepers: the dispatcher claims chunks too,
+	// and a worker woken into an already-exhausted round is pure scheduler
+	// churn. Waking nobody is always safe — the dispatcher drains whatever
+	// the woken workers don't take.
+	woken := 0
+	for i := range pl.sleeping {
+		if woken >= nchunks-1 {
+			break
+		}
+		if pl.sleeping[i].Swap(0) == 1 {
+			pl.wake[i] <- struct{}{}
+			woken++
+		}
+	}
+	pl.claim()
+	pl.wait()
+	pl.f, pl.fr = nil, nil // drop kernel references between rounds
+	pl.inRound.Store(false)
 }
 
+// claim repeatedly claims and executes chunks of the current round until
+// the cursor is exhausted. Safe to call from any goroutine at any time: the
+// (nchunks, idx) pair is read in one atomic load, so a claimant either wins
+// a chunk of the live round — whose descriptor was fully written before the
+// cursor was stored — or sees an exhausted cursor and leaves.
+func (pl *pool) claim() {
+	for {
+		cur := pl.cursor.Load()
+		idx := uint32(cur)
+		if idx >= uint32(cur>>32) {
+			return
+		}
+		if !pl.cursor.CompareAndSwap(cur, cur+1) {
+			continue
+		}
+		lo := int(idx) * pl.size
+		hi := lo + pl.size
+		if hi > pl.active {
+			hi = pl.active
+		}
+		if fr := pl.fr; fr != nil {
+			fr(lo, hi)
+		} else {
+			f := pl.f
+			for p := lo; p < hi; p++ {
+				f(p)
+			}
+		}
+		if pl.pending.Add(-1) == 0 {
+			if pl.parked.Swap(0) == 1 {
+				pl.done <- struct{}{}
+			}
+		}
+	}
+}
+
+// wait blocks the dispatcher until every chunk of the round has completed:
+// a brief spin on the countdown, then a park on the done semaphore. The
+// flag/recheck/drain dance guarantees no wakeup is lost and no stale token
+// survives the round.
+func (pl *pool) wait() {
+	for i := 0; i < doneSpin; i++ {
+		if pl.pending.Load() == 0 {
+			return
+		}
+		runtime.Gosched()
+	}
+	for pl.pending.Load() != 0 {
+		pl.parked.Store(1)
+		if pl.pending.Load() == 0 {
+			if pl.parked.Swap(0) == 0 {
+				<-pl.done // the finisher claimed the flag; drain its token
+			}
+			return
+		}
+		<-pl.done
+	}
+}
+
+// loop is one persistent worker: claim chunks whenever a new round is
+// published, spin briefly between rounds, then park until woken.
+func (pl *pool) loop(i int) {
+	var last uint64
+	for {
+		if s := pl.seq.Load(); s != last {
+			last = s
+			if pl.closed.Load() {
+				return
+			}
+			pl.claim()
+			continue
+		}
+		idle := 0
+		for pl.seq.Load() == last {
+			if idle++; idle < idleSpin {
+				runtime.Gosched()
+				continue
+			}
+			pl.sleeping[i].Store(1)
+			if pl.seq.Load() != last {
+				if pl.sleeping[i].Swap(0) == 0 {
+					<-pl.wake[i] // the publisher claimed the flag; drain
+				}
+				break
+			}
+			<-pl.wake[i]
+			break
+		}
+	}
+}
+
+// close publishes a terminal round: workers observe the closed flag on the
+// next sequence change and exit. Idempotent.
 func (pl *pool) close() {
-	pl.once.Do(func() { close(pl.jobs) })
+	if pl.closed.Swap(true) {
+		return
+	}
+	pl.seq.Add(1)
+	for i := range pl.sleeping {
+		if pl.sleeping[i].Swap(0) == 1 {
+			pl.wake[i] <- struct{}{}
+		}
+	}
 }

@@ -105,3 +105,89 @@ func TestParallelOneWorkerInline(t *testing.T) {
 		}
 	}
 }
+
+// TestPoolStressWidths hammers the atomic round-descriptor dispatch with
+// back-to-back rounds of varying widths: every index of every round must
+// execute exactly once, with no bleed between rounds (the claim-cursor
+// packing makes a stale claimant see an exhausted round).
+func TestPoolStressWidths(t *testing.T) {
+	m := NewParallel(4)
+	defer m.Close()
+	const n = 5000
+	counts := make([]int32, n)
+	expected := make([]int32, n)
+	for round := 0; round < 400; round++ {
+		w := 1 + (round*997)%n
+		m.Run(w, func(p int) { atomic.AddInt32(&counts[p], 1) })
+		for p := 0; p < w; p++ {
+			expected[p]++
+		}
+	}
+	for p := range counts {
+		if counts[p] != expected[p] {
+			t.Fatalf("index %d executed %d times, want %d", p, counts[p], expected[p])
+		}
+	}
+}
+
+// TestRunRangesCoversAll verifies the pool's native range mode partitions
+// [0, n) exactly (no index missed or doubled) for a width above the inline
+// threshold and an awkward remainder.
+func TestRunRangesCoversAll(t *testing.T) {
+	m := NewParallel(3)
+	defer m.Close()
+	n := 1<<12 + 37
+	marks := make([]int32, n)
+	m.RunRanges(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			marks[i]++
+		}
+	})
+	for i, c := range marks {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times, want 1", i, c)
+		}
+	}
+}
+
+// TestNestedRunInline verifies the re-entrancy guard: a kernel dispatching
+// on its own machine executes the nested kernel inline instead of
+// corrupting the live round descriptor.
+func TestNestedRunInline(t *testing.T) {
+	m := NewParallel(4)
+	defer m.Close()
+	var hits int64
+	m.Run(8, func(p int) {
+		m.Run(4, func(q int) { atomic.AddInt64(&hits, 1) })
+	})
+	if hits != 32 {
+		t.Fatalf("nested Run executed %d iterations, want 32", hits)
+	}
+}
+
+// TestRunDispatchAllocFree pins the executor's steady-state dispatch cost:
+// a warm pool round — Run or RunRanges — performs zero allocations. This is
+// the regression gate for the atomic round-descriptor design (the previous
+// dispatcher allocated a WaitGroup and channel sends per round).
+func TestRunDispatchAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; gate runs without -race")
+	}
+	m := NewParallel(4)
+	defer m.Close()
+	sink := make([]int64, 1<<13)
+	f := func(p int) { sink[p]++ }
+	m.Run(len(sink), f) // warm the pool
+	if avg := testing.AllocsPerRun(50, func() { m.Run(len(sink), f) }); avg != 0 {
+		t.Fatalf("warm Run dispatch allocates %v/round, want 0", avg)
+	}
+	fr := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sink[i]++
+		}
+	}
+	m.RunRanges(len(sink), fr)
+	if avg := testing.AllocsPerRun(50, func() { m.RunRanges(len(sink), fr) }); avg != 0 {
+		t.Fatalf("warm RunRanges dispatch allocates %v/round, want 0", avg)
+	}
+}

@@ -179,11 +179,18 @@ func (f *Forest) DeleteEdges(keys [][2]int) []error {
 	return errs
 }
 
-// runBatch drives the level-by-level sweep from the leaves to the root.
-// Depth is accounted as the max over levels of each level's max over its
-// concurrent siblings; work as the sum over every touched node; both plus
-// the O(log n) coordination of Section 5.3.
+// runBatch drives one staged batch from the leaves to the root: through
+// the dependency-driven pipeline scheduler when Pipeline is set, else the
+// strict level-by-level sweep below. Depth is accounted as the max over
+// levels of each level's max over its concurrent siblings (equivalently,
+// under either scheduler: the max over all touched nodes); work as the sum
+// over every touched node; both plus the O(log n) coordination of Section
+// 5.3.
 func (f *Forest) runBatch(fr frontier) {
+	if f.Pipeline {
+		f.runBatchPipelined(fr)
+		return
+	}
 	var depth, work int64
 	for level := f.levels; level >= 0 && len(fr) > 0; level-- {
 		next, d, w := f.runLevel(level, fr)

@@ -1,0 +1,239 @@
+package sparsify
+
+import (
+	"sort"
+	"sync"
+
+	"parmsf/internal/batch"
+)
+
+// This file implements the pipelined batch scheduler of the sparsification
+// tree: instead of sweeping the tree strictly level-by-level with a global
+// barrier per level (batch.go), a tree node becomes runnable as soon as all
+// of its own children have drained their REdges deltas and pending events
+// into it. Readiness is a per-node counter over the dependency closure (the
+// ancestors of the batch's touched leaves), so a fast subtree's parent can
+// apply while a slow sibling subtree is still working a lower level — the
+// overlap Section 5.3's depth accounting permits, since only the
+// child-before-parent order is semantically required.
+//
+// Determinism is preserved regardless of completion order:
+//
+//   - A node's input delta is assembled by draining its children in fixed
+//     sibling order (childKeys order, which is sorted), so the coalesced
+//     group — and therefore the node's engine op order — is exactly what
+//     the level-barrier sweep produces.
+//   - Per-node depth/work deltas come from the node's private engine
+//     simulator, which only the node's own task touches; the batch
+//     aggregate merges them commutatively (max for depth, sum for work),
+//     so ParDepth/ParWork are identical to the barrier path for every
+//     worker count and every completion order.
+
+// pnode is one node of a batch's dependency closure.
+type pnode struct {
+	key      nodeKey
+	group    *group   // leaf seed group (nil for internal nodes)
+	parent   *pnode   // nil at the root
+	children []*pnode // closure children in sorted sibling order
+	waiting  int      // children that have not yet completed
+	nd       *node    // materialized tree node (nil when the delta cancelled)
+	out      []event  // forest-delta events drained after completion
+	depthD   int64    // this node's engine depth delta
+	workD    int64    // this node's engine work delta
+}
+
+// runBatchPipelined drives one batch through the dependency-driven
+// scheduler. Node applications run through f.Spawn when set (concurrently,
+// bounded by the spawner); with Spawn nil every task runs inline, which
+// executes the identical schedule sequentially.
+func (f *Forest) runBatchPipelined(fr frontier) {
+	// Build the closure: every touched leaf and all of its ancestors.
+	nodes := make(map[nodeKey]*pnode, 2*len(fr))
+	var all []*pnode
+	var get func(k nodeKey) *pnode
+	get = func(k nodeKey) *pnode {
+		if p, ok := nodes[k]; ok {
+			return p
+		}
+		p := &pnode{key: k}
+		nodes[k] = p
+		all = append(all, p)
+		if k.level > 0 {
+			p.parent = get(parentKey(k))
+		}
+		return p
+	}
+	for k, g := range fr {
+		get(k).group = g
+	}
+	for _, p := range all {
+		if int(p.key.level) < f.levels {
+			for _, ck := range childKeys(p.key) {
+				if c, ok := nodes[ck]; ok {
+					p.children = append(p.children, c)
+				}
+			}
+			p.waiting = len(p.children)
+		}
+	}
+
+	// Seed the ready queue with the leaves in sorted key order (the same
+	// deterministic order the barrier sweep uses within a level).
+	ready := make([]*pnode, 0, len(fr))
+	for _, p := range all {
+		if p.waiting == 0 {
+			ready = append(ready, p)
+		}
+	}
+	sortNodeKeysOf(ready)
+
+	var depth, work int64
+	done := make(chan *pnode, len(all))
+	inflight := 0
+
+	// finish records a completed node on the host: drain its forest-delta
+	// events (strictly before the node may be destroyed), merge its cost
+	// deltas, and release its parent when it was the last pending child.
+	finish := func(p *pnode) {
+		if p.nd != nil {
+			p.out = p.nd.drain()
+			f.gc(p.nd)
+		}
+		if p.depthD > depth {
+			depth = p.depthD
+		}
+		work += p.workD
+		if par := p.parent; par != nil {
+			par.waiting--
+			if par.waiting == 0 {
+				ready = append(ready, par)
+			}
+		}
+	}
+
+	for len(ready) > 0 || inflight > 0 {
+		if len(ready) == 0 {
+			p := <-done
+			inflight--
+			finish(p)
+			continue
+		}
+		p := ready[0]
+		ready = ready[1:]
+
+		// Assemble the node's input: its leaf seed, plus its children's
+		// drained events in sibling order.
+		g := p.group
+		if g == nil {
+			g = &group{state: make(map[[2]int]*keyState)}
+		}
+		for _, c := range p.children {
+			for _, ev := range c.out {
+				g.add(ev.u, ev.v, ev.w, ev.added)
+			}
+			c.out = nil
+		}
+		dels, inss := g.net()
+		if len(dels) == 0 && len(inss) == 0 {
+			finish(p) // fully cancelled: don't materialize the node
+			continue
+		}
+
+		nd := f.getOrCreateKey(p.key)
+		p.nd = nd
+		if nd.native {
+			f.BatchNodeOps++
+		} else {
+			f.PerEdgeNodeOps++
+		}
+		if f.Spawn != nil && len(ready) > 0 {
+			// More runnable nodes exist: overlap them. The scheduler only
+			// spawns when there is something to run alongside, so a pure
+			// chain (one runnable node at a time — every root path tail)
+			// executes inline with no goroutine churn at all.
+			inflight++
+			f.Spawn(func() {
+				f.runNodeTask(p, dels, inss)
+				done <- p
+			})
+		} else {
+			// Dispatcher participation: the scheduler goroutine runs the
+			// sole ready node itself instead of parking on the completion
+			// channel.
+			f.runNodeTask(p, dels, inss)
+			finish(p)
+		}
+	}
+
+	// Section 5.3: levels overlap; the sequential parts (pointer walks,
+	// REdges scans, readiness bookkeeping) cost O(log n).
+	f.ParDepth += depth + 2*int64(f.levels+1)
+	f.ParWork += work + 2*int64(f.levels+1)
+}
+
+// runNodeTask applies one node's net delta and measures its private
+// engine's depth/work deltas. It touches only p and p.nd, so closure nodes
+// with disjoint engines run concurrently without synchronization.
+func (f *Forest) runNodeTask(p *pnode, dels [][2]int, inss []batch.Edge) {
+	var before, beforeW int64
+	if f.DepthFn != nil {
+		before = f.DepthFn(p.nd.eng)
+	}
+	if f.WorkFn != nil {
+		beforeW = f.WorkFn(p.nd.eng)
+	}
+	f.applyNodeDelta(p.nd, dels, inss)
+	if f.DepthFn != nil {
+		p.depthD = f.DepthFn(p.nd.eng) - before
+	}
+	if f.WorkFn != nil {
+		p.workD = f.WorkFn(p.nd.eng) - beforeW
+	}
+}
+
+// TaskPool is a persistent-worker spawner for Forest.Spawn: `workers` run
+// loops consume submitted node tasks from one channel, so a spawn costs a
+// channel send instead of a goroutine creation. The channel buffer lets the
+// scheduler stay ahead of the workers without blocking; a full buffer
+// backpressures the scheduler, which is safe (tasks never depend on
+// scheduler progress). Close releases the run loops; Spawn after Close
+// panics, matching the composed Forest's lifecycle.
+type TaskPool struct {
+	ch   chan func()
+	once sync.Once
+}
+
+// NewTaskPool starts workers persistent run loops.
+func NewTaskPool(workers int) *TaskPool {
+	if workers < 1 {
+		workers = 1
+	}
+	tp := &TaskPool{ch: make(chan func(), 4*workers)}
+	for i := 0; i < workers; i++ {
+		go tp.loop()
+	}
+	return tp
+}
+
+func (tp *TaskPool) loop() {
+	for run := range tp.ch {
+		run()
+	}
+}
+
+// Spawn submits one task; install this as Forest.Spawn.
+func (tp *TaskPool) Spawn(run func()) { tp.ch <- run }
+
+// Close releases the run loops after queued tasks drain. Idempotent.
+func (tp *TaskPool) Close() { tp.once.Do(func() { close(tp.ch) }) }
+
+// sortNodeKeysOf sorts pnodes by (a, b); used only within one level, where
+// that order matches the barrier sweep's sorted task order.
+func sortNodeKeysOf(ps []*pnode) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].key.a != ps[j].key.a {
+			return ps[i].key.a < ps[j].key.a
+		}
+		return ps[i].key.b < ps[j].key.b
+	})
+}

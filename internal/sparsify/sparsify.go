@@ -108,7 +108,19 @@ type Forest struct {
 	// concurrently (the composer injects the shared worker pool here). Nil
 	// runs them inline. Tasks touch disjoint node state, so any executor
 	// that completes all tasks before returning preserves determinism.
+	// Exec is only consulted by the level-barrier sweep (Pipeline false).
 	Exec func(tasks int, run func(t int))
+	// Pipeline routes batches through the dependency-driven scheduler
+	// (pipeline.go) instead of the strict level-barrier sweep: a node
+	// applies as soon as its own children have drained into it, so levels
+	// overlap. Forests, error slots and ParDepth/ParWork are identical
+	// either way.
+	Pipeline bool
+	// Spawn, when set with Pipeline, runs one node application
+	// asynchronously (the composer injects a bounded-goroutine spawner
+	// here). finish-side bookkeeping stays on the scheduler goroutine. Nil
+	// executes the identical schedule inline.
+	Spawn func(run func())
 	// BatchNodeOps and PerEdgeNodeOps count node applications of the batch
 	// path that went through a native BatchEngine versus the per-edge
 	// adapter (instrumentation: the acceptance criterion "no per-edge

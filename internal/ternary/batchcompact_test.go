@@ -1,0 +1,148 @@
+package ternary
+
+import (
+	"testing"
+
+	"parmsf/internal/xrand"
+)
+
+// forestSet collects a wrapper's MSF edge set.
+func forestSet(w *Wrapper) map[[3]int64]bool {
+	s := make(map[[3]int64]bool)
+	w.ForestEdges(func(u, v int, wt int64) bool {
+		if u > v {
+			u, v = v, u
+		}
+		s[[3]int64{int64(u), int64(v), wt}] = true
+		return true
+	})
+	return s
+}
+
+// TestBatchDeleteCompaction drives random delete batches through the
+// staged-compaction DeleteEdges path against a per-edge twin: identical
+// forests, weights and gadget bookkeeping after every batch. The staged
+// path folds the real deletions, the move surgeries and the ring
+// retirements of all touched vertices into one engine ApplyBatch; the
+// ring-count invariant is asserted inside the entry point after the batch.
+func TestBatchDeleteCompaction(t *testing.T) {
+	const n = 24
+	bat := newCoreWrapper(n, 256)
+	one := newCoreWrapper(n, 256)
+	rng := xrand.New(4242)
+	var live [][2]int
+	liveSet := map[[2]int]bool{}
+	nextW := int64(100)
+	for round := 0; round < 8; round++ {
+		// Refill with fresh random edges (per-edge inserts on both twins:
+		// this test isolates the delete side).
+		for added := 0; added < 24; {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			k := key(u, v)
+			if liveSet[k] {
+				continue
+			}
+			if err := bat.InsertEdge(u, v, nextW); err != nil {
+				t.Fatalf("round %d: batch twin insert %v: %v", round, k, err)
+			}
+			if err := one.InsertEdge(u, v, nextW); err != nil {
+				t.Fatalf("round %d: per-edge twin insert %v: %v", round, k, err)
+			}
+			liveSet[k] = true
+			live = append(live, k)
+			nextW++
+			added++
+		}
+
+		// Delete a random half in one batch, with an absent key and an
+		// in-batch duplicate exercising the error slots.
+		var del [][2]int
+		for i := 0; i < 16 && len(live) > 0; i++ {
+			j := rng.Intn(len(live))
+			del = append(del, live[j])
+			delete(liveSet, live[j])
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		del = append(del, [2]int{0, 0}, del[0])
+		errs := bat.DeleteEdges(del)
+		for i, k := range del {
+			var want error
+			if i >= len(del)-2 {
+				want = ErrMissing
+			} else if err := one.DeleteEdge(k[0], k[1]); err != nil {
+				t.Fatalf("round %d: per-edge delete %v: %v", round, k, err)
+			}
+			if errs[i] != want {
+				t.Fatalf("round %d: del errs[%d] (%v) = %v, want %v", round, i, k, errs[i], want)
+			}
+		}
+
+		if bat.Weight() != one.Weight() || bat.ForestSize() != one.ForestSize() {
+			t.Fatalf("round %d: (w=%d,s=%d) vs per-edge (w=%d,s=%d)",
+				round, bat.Weight(), bat.ForestSize(), one.Weight(), one.ForestSize())
+		}
+		fa, fb := forestSet(bat), forestSet(one)
+		for e := range fa {
+			if !fb[e] {
+				t.Fatalf("round %d: edge %v only in batch forest", round, e)
+			}
+		}
+		if len(fa) != len(fb) {
+			t.Fatalf("round %d: %d vs %d forest edges", round, len(fa), len(fb))
+		}
+		if err := bat.CheckGadget(); err != nil {
+			t.Fatalf("round %d: batch twin gadget: %v", round, err)
+		}
+		if err := one.CheckGadget(); err != nil {
+			t.Fatalf("round %d: per-edge twin gadget: %v", round, err)
+		}
+	}
+}
+
+// TestBatchDeleteDoubleMove pins the coalescing case of the staged
+// compaction: one surviving edge whose BOTH endpoints compact in the same
+// batch. The edge's record moves once per endpoint, and the stage must
+// emit a single delete of the pre-batch hosting plus a single insert of
+// the final hosting — emitting per-move ops would address a slot pair that
+// never existed in the engine and panic the batch.
+func TestBatchDeleteDoubleMove(t *testing.T) {
+	const n = 10
+	w := newCoreWrapper(n, 128)
+	// Give vertices 0 and 1 three spokes each, then the shared edge (0, 1)
+	// — inserted last, so it is hosted at the last slot of both paths.
+	var wt int64 = 100
+	for _, e := range [][2]int{{0, 2}, {0, 3}, {0, 4}, {1, 5}, {1, 6}, {1, 7}, {0, 1}} {
+		if err := w.InsertEdge(e[0], e[1], wt); err != nil {
+			t.Fatalf("insert %v: %v", e, err)
+		}
+		wt++
+	}
+	// Deleting two lower spokes of each path leaves holes below (0, 1) on
+	// both sides; compaction moves it down twice — once per endpoint.
+	errs := w.DeleteEdges([][2]int{{0, 2}, {0, 3}, {1, 5}, {1, 6}})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("del errs[%d] = %v", i, err)
+		}
+	}
+	if err := w.CheckGadget(); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Connected(0, 1) {
+		t.Fatal("surviving edge (0,1) lost")
+	}
+	if w.ForestSize() != 3 || w.M() != 3 {
+		t.Fatalf("forest=%d m=%d, want 3/3", w.ForestSize(), w.M())
+	}
+	// And the moved edge must still be deletable at its new hosting.
+	if err := w.DeleteEdge(0, 1); err != nil {
+		t.Fatalf("delete moved edge: %v", err)
+	}
+	if err := w.CheckGadget(); err != nil {
+		t.Fatal(err)
+	}
+}

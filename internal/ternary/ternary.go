@@ -66,6 +66,17 @@ type Wrapper struct {
 	byslot map[int32]int // gadget slot -> original vertex
 
 	events func(u, v int, w int64, added bool)
+
+	// Pooled batch scratch: the staged-slot op buffer shared by the
+	// InsertEdges / DeleteEdges entry points, the record list of a delete
+	// batch, and the staged compaction bookkeeping. Reused across batches
+	// (contents never retained), so warm batch entry points allocate only
+	// their returned error slices.
+	opsScratch []core.BatchOp
+	recScratch []*edgeRec
+	stage      compactStage
+	touchedVs  []int
+	touchedSet map[int]bool
 }
 
 // New wraps a fresh degree-3 engine for n vertices and at most maxEdges
@@ -199,7 +210,10 @@ func (w *Wrapper) openSlot(x int, rings *[]core.BatchOp) int32 {
 }
 
 // closeSlot removes slot index i of x, which must be the last and unhosted.
-func (w *Wrapper) closeSlot(x, i int) {
+// With stage non-nil the ring deletion is staged for the compaction batch
+// instead of being applied to the engine immediately; the wrapper
+// bookkeeping updates either way.
+func (w *Wrapper) closeSlot(x, i int, stage *compactStage) {
 	s := w.slots[x]
 	if i != len(s)-1 || w.hosted[x][i] != nil {
 		panic("ternary: closeSlot misuse")
@@ -208,15 +222,24 @@ func (w *Wrapper) closeSlot(x, i int) {
 		return // base slot is permanent
 	}
 	g := s[i]
-	if err := w.eng.DeleteEdge(int(s[i-1]), int(g)); err != nil {
-		panic(fmt.Sprintf("ternary: ring delete failed: %v", err))
+	if stage != nil {
+		// The byslot entry and the free-list return are deferred to the
+		// stage's release (after the engine batch): forest-change events the
+		// engine emits while applying the batch still name g, and the event
+		// forwarding translates them through byslot.
+		stage.rings = append(stage.rings, [2]int32{s[i-1], g})
+		stage.retired = append(stage.retired, g)
+	} else {
+		if err := w.eng.DeleteEdge(int(s[i-1]), int(g)); err != nil {
+			panic(fmt.Sprintf("ternary: ring delete failed: %v", err))
+		}
+		delete(w.byslot, g)
+		w.free = append(w.free, g)
 	}
 	w.rings--
 	w.nslots--
 	w.slots[x] = s[:i]
 	w.hosted[x] = w.hosted[x][:i]
-	delete(w.byslot, g)
-	w.free = append(w.free, g)
 }
 
 func (w *Wrapper) hostAt(x int, slot int32, rec *edgeRec) {
@@ -262,18 +285,22 @@ func (w *Wrapper) compact(x int, slot int32) {
 	h[idx] = nil
 	last := len(s) - 1
 	if idx != last && h[last] != nil {
-		w.moveHosted(x, last, idx)
+		w.moveHosted(x, last, idx, nil)
 	}
 	// The last slot is now unhosted; retire it (base stays).
 	if last > 0 && h[last] == nil {
-		w.closeSlot(x, last)
+		w.closeSlot(x, last, nil)
 	}
 }
 
 // moveHosted moves the edge hosted at slot index from of x into the
 // unhosted slot index to (an engine delete + insert), repairing the
-// record's hosting.
-func (w *Wrapper) moveHosted(x, from, to int) {
+// record's hosting. With stage non-nil no engine ops run: the record's
+// pre-batch hosting is captured on its first move — a record can move once
+// per endpoint within one compaction batch — and the stage later emits one
+// coalesced delete of the original hosting plus one insert of the final
+// hosting per moved record.
+func (w *Wrapper) moveHosted(x, from, to int, stage *compactStage) {
 	s, h := w.slots[x], w.hosted[x]
 	mv := h[from]
 	other := mv.sv
@@ -283,11 +310,18 @@ func (w *Wrapper) moveHosted(x, from, to int) {
 		}
 		other = mv.su
 	}
-	if err := w.eng.DeleteEdge(int(s[from]), int(other)); err != nil {
-		panic(fmt.Sprintf("ternary: move delete failed: %v", err))
-	}
-	if err := w.eng.InsertEdge(int(s[to]), int(other), mv.w); err != nil {
-		panic(fmt.Sprintf("ternary: move insert failed: %v", err))
+	if stage != nil {
+		if _, seen := stage.orig[mv]; !seen {
+			stage.orig[mv] = [2]int32{mv.su, mv.sv}
+			stage.moved = append(stage.moved, mv)
+		}
+	} else {
+		if err := w.eng.DeleteEdge(int(s[from]), int(other)); err != nil {
+			panic(fmt.Sprintf("ternary: move delete failed: %v", err))
+		}
+		if err := w.eng.InsertEdge(int(s[to]), int(other), mv.w); err != nil {
+			panic(fmt.Sprintf("ternary: move insert failed: %v", err))
+		}
 	}
 	if mv.su == s[from] {
 		mv.su = s[to]
@@ -359,7 +393,7 @@ func (w *Wrapper) InsertEdges(items []BatchEdge) []error {
 		}
 		return errs
 	}
-	ops := make([]core.BatchOp, 0, 2*len(items))
+	ops := w.opsScratch[:0]
 	for i, it := range items {
 		rec, err := w.stageInsert(it.U, it.V, it.W, &ops)
 		if err != nil {
@@ -375,6 +409,7 @@ func (w *Wrapper) InsertEdges(items []BatchEdge) []error {
 			}
 		}
 	}
+	w.opsScratch = ops[:0]
 	w.assertRings()
 	return errs
 }
@@ -396,9 +431,15 @@ func (w *Wrapper) assertRings() {
 // DeleteEdges deletes a batch of edges named by endpoint pairs, returning
 // one error slot per item (nil on success, ErrMissing for absent edges and
 // for repeated keys after their first occurrence). The hosted real edges
-// are removed as one engine batch — the engine's planner classifies tree
-// versus non-tree deletions across the whole batch and orders non-tree
-// deletions first — and the freed slots are compacted afterwards.
+// AND the slot-path compaction surgeries they trigger are removed/applied
+// as one engine batch: every deleted hosting is cleared first (so a move
+// can never resurrect a batch-deleted edge), each touched vertex's path is
+// compacted once in first-touch order with its move and ring-retirement
+// surgeries staged, and the engine sees a single ApplyBatch — its planner
+// classifies tree versus non-tree deletions across real deletions, moves
+// and ring retirements together, orders non-tree deletions first, and runs
+// one deferred aggregate flush for the whole batch. The ring-count
+// invariant is asserted after the batch.
 func (w *Wrapper) DeleteEdges(keys [][2]int) []error {
 	errs := make([]error, len(keys))
 	be, ok := w.eng.(BatchEngine)
@@ -408,8 +449,8 @@ func (w *Wrapper) DeleteEdges(keys [][2]int) []error {
 		}
 		return errs
 	}
-	ops := make([]core.BatchOp, 0, len(keys))
-	recs := make([]*edgeRec, 0, len(keys))
+	ops := w.opsScratch[:0]
+	recs := w.recScratch[:0]
 	for i, kk := range keys {
 		k := key(kk[0], kk[1])
 		rec, ok := w.edges[k]
@@ -422,18 +463,15 @@ func (w *Wrapper) DeleteEdges(keys [][2]int) []error {
 		recs = append(recs, rec)
 	}
 	if len(ops) == 0 {
+		w.opsScratch = ops
 		return errs
 	}
-	for _, err := range be.ApplyBatch(ops) {
-		if err != nil {
-			panic(fmt.Sprintf("ternary: gadget batch delete failed: %v", err))
-		}
+	vs := w.touchedVs[:0]
+	if w.touchedSet == nil {
+		w.touchedSet = make(map[int]bool, 2*len(recs))
 	}
-	// Compact the slot paths: clear every deleted hosting first (so a move
-	// can never resurrect a batch-deleted edge), then repair each touched
-	// vertex once, in first-touch order.
-	var vs []int
-	touched := make(map[int]bool, 2*len(recs))
+	touched := w.touchedSet
+	clear(touched)
 	for _, rec := range recs {
 		w.clearHost(rec.u, rec.su)
 		w.clearHost(rec.v, rec.sv)
@@ -444,9 +482,20 @@ func (w *Wrapper) DeleteEdges(keys [][2]int) []error {
 			}
 		}
 	}
+	w.stage.reset()
 	for _, x := range vs {
-		w.compactVertex(x)
+		w.compactVertex(x, &w.stage)
 	}
+	ops = w.stage.emit(ops)
+	for _, err := range be.ApplyBatch(ops) {
+		if err != nil {
+			panic(fmt.Sprintf("ternary: gadget batch delete failed: %v", err))
+		}
+	}
+	w.stage.release(w)
+	w.opsScratch, w.touchedVs = ops[:0], vs[:0]
+	clear(recs)
+	w.recScratch = recs[:0]
 	w.assertRings()
 	return errs
 }
@@ -465,13 +514,16 @@ func (w *Wrapper) clearHost(x int, slot int32) {
 // compactVertex restores slot-path compactness for x after a batch of
 // deletions: holes below the last slot are filled by moving the last
 // hosted edge down (engine delete + insert, as in compact), and trailing
-// unhosted slots are retired.
-func (w *Wrapper) compactVertex(x int) {
+// unhosted slots are retired. With stage non-nil every engine op is staged
+// instead of applied — the move surgeries of distinct vertices are
+// independent, so a whole delete batch's compactions run as one gadget
+// ApplyBatch.
+func (w *Wrapper) compactVertex(x int, stage *compactStage) {
 	for {
 		s, h := w.slots[x], w.hosted[x]
 		last := len(s) - 1
 		if last > 0 && h[last] == nil {
-			w.closeSlot(x, last)
+			w.closeSlot(x, last, stage)
 			continue
 		}
 		hole := -1
@@ -484,8 +536,71 @@ func (w *Wrapper) compactVertex(x int) {
 		if hole < 0 {
 			return
 		}
-		w.moveHosted(x, last, hole)
+		w.moveHosted(x, last, hole, stage)
 	}
+}
+
+// compactStage accumulates the staged engine ops of one delete batch's
+// slot-path compactions. Moves are coalesced per record: only the original
+// hosting (before the batch's first move) and the final hosting matter to
+// the engine, so a record whose both endpoints move still emits exactly one
+// delete + one insert. Ring retirements are plain deletions of pre-batch
+// ring edges. All staged deletions name edges live in the engine before the
+// batch and all staged insertions name slot pairs free after every staged
+// deletion, so the engine's plan order (deletions before insertions) keeps
+// every op applicable and the gadget degree bound intact throughout.
+type compactStage struct {
+	moved   []*edgeRec            // first-move order (deterministic)
+	orig    map[*edgeRec][2]int32 // record -> pre-batch hosting
+	rings   [][2]int32            // retired ring edges, retirement order
+	retired []int32               // retired slots, pending byslot/free release
+}
+
+func (st *compactStage) reset() {
+	clear(st.moved)
+	st.moved = st.moved[:0]
+	st.rings = st.rings[:0]
+	st.retired = st.retired[:0]
+	if st.orig == nil {
+		st.orig = make(map[*edgeRec][2]int32)
+	} else {
+		clear(st.orig)
+	}
+}
+
+// release finishes the deferred bookkeeping of the retired slots once the
+// engine batch — and every forest-change event it emitted — is done.
+func (st *compactStage) release(w *Wrapper) {
+	for _, g := range st.retired {
+		delete(w.byslot, g)
+		w.free = append(w.free, g)
+	}
+	st.retired = st.retired[:0]
+}
+
+// emit appends the staged compaction ops to a batch: coalesced move
+// deletions, ring retirements, then the move re-insertions at the final
+// hosting. Deletion keys are pairwise distinct (distinct records, distinct
+// ring edges) so the engine's duplicate-deletion filter never fires.
+func (st *compactStage) emit(ops []core.BatchOp) []core.BatchOp {
+	for _, rec := range st.moved {
+		o := st.orig[rec]
+		if o[0] == rec.su && o[1] == rec.sv {
+			continue // net no-op move (defensive; moves always relocate)
+		}
+		ops = append(ops, core.BatchOp{Del: true, U: int(o[0]), V: int(o[1])})
+	}
+	for _, r := range st.rings {
+		ops = append(ops, core.BatchOp{Del: true, U: int(r[0]), V: int(r[1])})
+	}
+	for _, rec := range st.moved {
+		o := st.orig[rec]
+		if o[0] == rec.su && o[1] == rec.sv {
+			continue
+		}
+		ops = append(ops, core.BatchOp{U: int(rec.su), V: int(rec.sv), W: rec.w})
+	}
+	return ops
 }
 
 // CheckGadget verifies wrapper bookkeeping (tests): slot paths are compact

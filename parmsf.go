@@ -88,8 +88,9 @@ type Forest struct {
 	n     int
 	eng   engine
 	mach  *pram.Machine
-	ch    core.Charger     // batch kernels route through this
-	spars *sparsify.Forest // non-nil when Options.Sparsify is set
+	ch    core.Charger       // batch kernels route through this
+	spars *sparsify.Forest   // non-nil when Options.Sparsify is set
+	tasks *sparsify.TaskPool // pipeline node-task workers (Sparsify+Workers)
 }
 
 // engine abstracts the composed pipeline.
@@ -137,11 +138,14 @@ func New(n int, opt Options) *Forest {
 		var sp *sparsify.Forest
 		if f.mach != nil {
 			// Section 5.3 wiring: every tree node runs the PRAM driver on a
-			// private sequential simulator, so sibling nodes of a level can
-			// apply concurrently on the shared pool (Exec) with no shared
-			// counter state; the tree merges per-level max depth and summed
-			// work through DepthFn/WorkFn, and the public update entry
-			// points absorb those totals back into the shared machine.
+			// private sequential simulator, so independent nodes can apply
+			// concurrently with no shared counter state; the tree merges
+			// per-node depth (max) and work (sum) through DepthFn/WorkFn,
+			// and the public update entry points absorb those totals back
+			// into the shared machine. Batches run through the pipelined
+			// scheduler — a node applies as soon as its children have
+			// drained into it — with node tasks fanned out over at most
+			// Workers goroutines when a real pool is configured.
 			sp = sparsify.New(n, func(localN, maxEdges int) sparsify.Engine {
 				nm := pram.New(false)
 				return ternary.New(localN, maxEdges, func(gn int) ternary.Engine {
@@ -161,6 +165,11 @@ func New(n int, opt Options) *Forest {
 				return 0
 			}
 			sp.Exec = func(tasks int, run func(t int)) { f.mach.Run(tasks, run) }
+			sp.Pipeline = true
+			if opt.Workers != 0 && !opt.CheckEREW {
+				f.tasks = sparsify.NewTaskPool(f.mach.Workers())
+				sp.Spawn = f.tasks.Spawn
+			}
 		} else {
 			sp = sparsify.New(n, func(localN, maxEdges int) sparsify.Engine {
 				return ternary.New(localN, maxEdges, mkCore)
@@ -409,12 +418,18 @@ func (f *Forest) DeleteEdges(keys []EdgeKey) []error {
 	return errs
 }
 
-// Close releases the worker goroutines behind Options.Workers. The forest
-// stays usable afterwards (kernels run sequentially). Safe on any forest
-// and safe to call twice.
+// Close releases the worker goroutines behind Options.Workers — the PRAM
+// kernel pool and, with Sparsify, the pipeline's node-task workers. The
+// forest stays usable afterwards (kernels run sequentially; batch node
+// tasks run inline). Safe on any forest and safe to call twice.
 func (f *Forest) Close() {
 	if f.mach != nil {
 		f.mach.Close()
+	}
+	if f.tasks != nil {
+		f.tasks.Close()
+		f.spars.Spawn = nil // batches keep working, inline
+		f.tasks = nil
 	}
 }
 
