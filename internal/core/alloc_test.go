@@ -47,13 +47,15 @@ func TestSingleEdgeFastPathAllocs(t *testing.T) {
 }
 
 // TestBatchApplyWarmAllocs pins the steady-state allocation shape of the
-// batch pipeline itself: a warm ApplyBatch of independent non-tree updates
-// must allocate only per-batch state whose size is independent of how many
-// batches ran before (plan slices, per-item errors, edge records) — the
-// classify/shard/flush stages' working memory is pooled. The ceiling is
-// deliberately loose (a small multiple of the batch size); the gate exists
-// to catch O(batch)-per-stage regressions such as a fresh classify table or
-// flush bucket set per batch.
+// batch pipeline: with the plan's stage slices, the per-item error slots,
+// the classify tables and the insert-classification union-find all pooled
+// in the Store, a warm ApplyBatch of independent non-tree updates allocates
+// only the graph edge record of each reinsertion — live data, not pipeline
+// overhead — which bounds the rate by 0.5 allocations per update (each
+// delete+reinsert pair creates one record). The pinned ceiling of 0.75
+// leaves room for incidental runtime noise while still failing if any
+// O(batch) per-stage allocation (a fresh plan slice, error slice or
+// classify table per batch) sneaks back in.
 func TestBatchApplyWarmAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; gate runs without -race")
@@ -77,7 +79,7 @@ func TestBatchApplyWarmAllocs(t *testing.T) {
 		round()
 	}
 	perOp := testing.AllocsPerRun(20, round) / float64(2*len(del))
-	if perOp > 4 {
-		t.Fatalf("warm batch apply allocates %.2f objects per update, want <= 4", perOp)
+	if perOp > 0.75 {
+		t.Fatalf("warm batch apply allocates %.2f objects per update, want <= 0.75 (only the reinsertions' edge records)", perOp)
 	}
 }

@@ -25,6 +25,7 @@ type insertConn struct {
 // each a read-only O(log n) walk writing only its own cell) and densifies
 // them into union-find tokens. It must run after the deletion stages:
 // deletions split tours, so the roots snapshot the exact pre-insert state.
+// The returned value is pooled Store scratch, valid until the next batch.
 func (m *MSF) planInsertConnectivity(idx []int, ops []BatchOp) *insertConn {
 	st := m.st
 	k := len(idx)
@@ -43,8 +44,15 @@ func (m *MSF) planInsertConnectivity(idx []int, ops []BatchOp) *insertConn {
 	// Host pass: densify the root pointers into union-find ids in first-
 	// occurrence order (deterministic for every worker count).
 	st.ch.Seq(k)
-	ic := &insertConn{ru: make([]int32, k), rv: make([]int32, k)}
-	ids := make(map[*Tour]int32, 2*k)
+	ic := &st.ic
+	ic.ru = growScratch(ic.ru, k)
+	ic.rv = growScratch(ic.rv, k)
+	ic.parent = ic.parent[:0]
+	if st.icIDs == nil {
+		st.icIDs = make(map[*Tour]int32, 2*k)
+	}
+	ids := st.icIDs
+	clear(ids)
 	tok := func(t *Tour) int32 {
 		id, ok := ids[t]
 		if !ok {
@@ -61,6 +69,7 @@ func (m *MSF) planInsertConnectivity(idx []int, ops []BatchOp) *insertConn {
 	// Drop the tour pointers so the pooled scratch does not pin tours that
 	// later surgery retires.
 	clear(roots)
+	clear(ids)
 	return ic
 }
 

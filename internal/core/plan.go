@@ -41,7 +41,8 @@ const (
 // the order they apply. Deleting non-tree edges first is the batch delete
 // ordering heuristic: a non-tree edge can never be promoted to a tree edge
 // by another deletion's replacement search, so replacement searches never
-// pick an edge the same batch is about to remove.
+// pick an edge the same batch is about to remove. The stage slices live in
+// pooled Store scratch, valid until the next planned batch.
 type Plan struct {
 	NonTreeDel []int // indices of deletions of live non-tree edges
 	TreeDel    []int // indices of deletions of tree edges (surgery + MWR)
@@ -108,7 +109,7 @@ func (m *MSF) planBatch(ops []BatchOp, errs []error) Plan {
 		}
 	}
 
-	var p Plan
+	p := Plan{NonTreeDel: st.planNonTree[:0], TreeDel: st.planTree[:0], Inserts: st.planIns[:0]}
 	for i := range ops {
 		switch cls[i] {
 		case opDelNonTree:
@@ -123,6 +124,9 @@ func (m *MSF) planBatch(ops []BatchOp, errs []error) Plan {
 			errs[i] = ErrWeight
 		}
 	}
+	// Return the (possibly regrown) stage slices to the pool so capacity
+	// accumulates across batches.
+	st.planNonTree, st.planTree, st.planIns = p.NonTreeDel, p.TreeDel, p.Inserts
 	return p
 }
 
@@ -132,8 +136,14 @@ func (m *MSF) planBatch(ops []BatchOp, errs []error) Plan {
 // each stage in batch order — independent of the charger backend and of the
 // worker count, so the resulting forest and the PRAM cost counters are
 // identical for every execution configuration.
+//
+// The returned slice is pooled engine scratch: it is valid until the next
+// batch enters this engine and must not be retained. Callers that need the
+// errors later must copy them out.
 func (m *MSF) ApplyBatch(ops []BatchOp) []error {
-	errs := make([]error, len(ops))
+	m.st.errScratch = growScratch(m.st.errScratch, len(ops))
+	errs := m.st.errScratch
+	clear(errs)
 	if len(ops) == 0 {
 		return errs
 	}

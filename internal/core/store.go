@@ -110,6 +110,21 @@ type Store struct {
 	flushCur     []*lsNode         // flushCAdj: bucket the kernel reads
 	flushKernel  func(i int)       // flushCAdj: persistent recompute kernel
 	rootScratch  []*Tour           // planInsertConnectivity: endpoint roots
+
+	// Pooled per-batch pipeline state (plan.go): the plan's stage index
+	// slices, the per-item error slots ApplyBatch returns (owned by the
+	// engine, valid until the next batch), and the insert-classification
+	// union-find of insertclass.go.
+	planNonTree []int           // planBatch: non-tree deletion indices
+	planTree    []int           // planBatch: tree deletion indices
+	planIns     []int           // planBatch: insertion indices
+	errScratch  []error         // ApplyBatch: per-item error slots
+	ic          insertConn      // planInsertConnectivity: pooled result
+	icIDs       map[*Tour]int32 // planInsertConnectivity: root densifier
+
+	// Pooled snapshot-export state (export.go).
+	snapRoots []*Tour         // ExportComponents: per-vertex tour roots
+	snapIDs   map[*Tour]int32 // ExportComponents: root densifier
 }
 
 // NewStore builds the structure for graph g (which must be empty: edges are

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parmsf"
+	"parmsf/internal/stats"
+	"parmsf/internal/workload"
+	"parmsf/internal/xrand"
+)
+
+// This file implements the E16 mixed reader/writer serving scenario: p
+// reader goroutines hammer snapshot queries while q writer goroutines
+// stream conflict-free churn through the Submit ingest queue, whose single
+// drainer coalesces whatever accumulated into engine batches. The table
+// and the machine-readable BENCH_batch.json record share runReadWrite, so
+// the two can never measure different protocols.
+
+// rwSample is one run's aggregate of the serving scenario.
+type rwSample struct {
+	readsPerSec float64 // snapshot queries completed per second
+	opsPerSec   float64 // write ops applied per second
+	opsPerBatch float64 // coalescing factor: ops per drained engine batch
+	epochs      float64 // snapshot epochs published
+	nsPerOp     float64 // wall nanoseconds per write op, end to end
+}
+
+// runReadWrite executes one serving run: readers spin on Snapshot queries
+// (two point queries and one aggregate per acquisition) from before the
+// first write to after the last, writers submit their disjoint streams
+// through the ingest queue, and the run is timed from first submission to
+// Flush. The workload is conflict-free (disjoint vertex intervals), so
+// any error observed on a future is a correctness failure and panics.
+func runReadWrite(n, workers, readers int, streams []workload.Stream) rwSample {
+	f := parmsf.New(n, parmsf.Options{
+		Workers:  workers,
+		MaxEdges: 4 * n,
+		// Deep queue + modest batch bound: writers should never stall on
+		// backpressure, while per-batch latency stays bounded.
+		QueueDepth: 4096,
+		MaxBatch:   256,
+	})
+	defer f.Close()
+
+	var stop atomic.Bool
+	var reads atomic.Int64
+	var started, rg sync.WaitGroup
+	started.Add(readers)
+	for r := 0; r < readers; r++ {
+		rg.Add(1)
+		go func(r int) {
+			defer rg.Done()
+			rng := xrand.New(uint64(9000 + 31*r))
+			started.Done()
+			var cnt int64
+			sink := 0 // consumed below so the queries cannot be elided
+			for !stop.Load() {
+				s := f.Snapshot()
+				u, v := rng.Intn(n), rng.Intn(n)
+				if s.Connected(u, v) {
+					sink++
+				}
+				sink += s.ComponentOf(u)
+				sink += s.Components()
+				s.Release()
+				cnt += 3 // fixed queries per acquisition, independent of answers
+			}
+			_ = sink
+			reads.Add(cnt)
+		}(r)
+	}
+	started.Wait()
+
+	totalOps := 0
+	for _, st := range streams {
+		totalOps += len(st.Ops)
+	}
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for _, st := range streams {
+		wg.Add(1)
+		go func(st workload.Stream) {
+			defer wg.Done()
+			var last *parmsf.Pending
+			for _, op := range st.Ops {
+				if op.Kind == workload.OpInsert {
+					last = f.Submit(parmsf.Update{U: op.U, V: op.V, W: op.W})
+				} else {
+					last = f.Submit(parmsf.Update{Delete: true, U: op.U, V: op.V})
+				}
+			}
+			// FIFO: the last future resolving means the whole stream
+			// applied; the conflict-free workload admits no errors.
+			if last != nil {
+				if err := last.Wait(); err != nil {
+					panic(fmt.Sprintf("experiments: E16 write failed: %v", err))
+				}
+			}
+		}(st)
+	}
+	wg.Wait()
+	if err := f.Flush(); err != nil {
+		panic(fmt.Sprintf("experiments: E16 flush: %v", err))
+	}
+	elapsed := time.Since(t0)
+	stop.Store(true)
+	rg.Wait()
+
+	ops, batches := f.IngestStats()
+	if int(ops) != totalOps {
+		panic(fmt.Sprintf("experiments: E16 applied %d ops, submitted %d", ops, totalOps))
+	}
+	s := f.Snapshot()
+	epochs := s.Epoch()
+	s.Release()
+	sec := elapsed.Seconds()
+	out := rwSample{
+		readsPerSec: float64(reads.Load()) / sec,
+		opsPerSec:   float64(totalOps) / sec,
+		epochs:      float64(epochs),
+		nsPerOp:     float64(elapsed.Nanoseconds()) / float64(totalOps),
+	}
+	if batches > 0 {
+		out.opsPerBatch = float64(ops) / float64(batches)
+	}
+	return out
+}
+
+// measureReadWrite runs the scenario Repeat times and reports, per metric,
+// the best (throughput maxima / latency minimum) and the median — the
+// rate-shaped analogue of the min+median convention the timed sections
+// use.
+func measureReadWrite(n, workers, readers int, streams []workload.Stream) (best, med rwSample) {
+	r := Repeat
+	if r < 1 {
+		r = 1
+	}
+	runs := make([]rwSample, r)
+	for i := range runs {
+		runs[i] = runReadWrite(n, workers, readers, streams)
+	}
+	pick := func(get func(rwSample) float64, better func(a, b float64) bool) (float64, float64) {
+		vals := make([]float64, r)
+		for i, s := range runs {
+			vals[i] = get(s)
+		}
+		b := vals[0]
+		for _, v := range vals[1:] {
+			if better(v, b) {
+				b = v
+			}
+		}
+		sort.Float64s(vals)
+		return b, (vals[(r-1)/2] + vals[r/2]) / 2
+	}
+	max := func(a, b float64) bool { return a > b }
+	min := func(a, b float64) bool { return a < b }
+	best.readsPerSec, med.readsPerSec = pick(func(s rwSample) float64 { return s.readsPerSec }, max)
+	best.opsPerSec, med.opsPerSec = pick(func(s rwSample) float64 { return s.opsPerSec }, max)
+	best.opsPerBatch, med.opsPerBatch = pick(func(s rwSample) float64 { return s.opsPerBatch }, max)
+	best.epochs, med.epochs = pick(func(s rwSample) float64 { return s.epochs }, max)
+	best.nsPerOp, med.nsPerOp = pick(func(s rwSample) float64 { return s.nsPerOp }, min)
+	return best, med
+}
+
+// rwConfig is the E16 sweep: reader counts against a fixed writer pool.
+var rwReaders = []int{1, 2, 4, 8}
+
+const rwWriters = 2
+const rwEngineWorkers = 2
+
+// E16ReadWrite — concurrent query plane: snapshot-read throughput against
+// ingest-write cadence while q writers stream conflict-free churn through
+// the coalescing queue. Reads are lock-free snapshot queries, so reader
+// throughput should hold (and scale with spare cores) as readers are
+// added, while write cadence is governed by batch coalescing — the
+// ops/batch column is the amortization factor the queue wins over
+// synchronous per-op calls. Attainable parallel overlap is capped by
+// GOMAXPROCS; on a single-core host readers and the drainer time-slice.
+func E16ReadWrite(w io.Writer, sc Scale) {
+	sz := batchSizesFor(sc)
+	n := sz.readwriteN
+	streams := workload.WriterStreams(n, rwWriters, n, uint64(n)+1607)
+	tb := stats.NewTable(
+		fmt.Sprintf("E16 — serving plane: %d readers vs %d ingest writers, n=%d, %d ops/writer (engine workers=%d, GOMAXPROCS=%d, repeat=%d)",
+			rwReaders[len(rwReaders)-1], rwWriters, n, n, rwEngineWorkers, runtime.GOMAXPROCS(0), Repeat),
+		"readers", "reads/s", "(med)", "write ops/s", "(med)", "ops/batch", "epochs")
+	for _, readers := range rwReaders {
+		best, med := measureReadWrite(n, rwEngineWorkers, readers, streams)
+		tb.Row(readers, best.readsPerSec, med.readsPerSec, best.opsPerSec, med.opsPerSec, best.opsPerBatch, best.epochs)
+	}
+	tb.Fprint(w)
+	fmt.Fprintln(w, "theory: reads/s holds or grows with readers (lock-free snapshots; writers unaffected); ops/batch > 1 is the ingest queue's coalescing amortization; epochs <= batches (no-op batches publish nothing)")
+	fmt.Fprintln(w)
+}
+
+// ReadWritePoint is one reader-count measurement of the E16 serving
+// scenario for BENCH_batch.json: snapshot-query and write throughput
+// (best and median across -repeat runs), the coalescing factor, and the
+// epochs published. GOMAXPROCS records the host parallelism the entry ran
+// under.
+type ReadWritePoint struct {
+	Readers        int     `json:"readers"`
+	Writers        int     `json:"writers"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	ReadsPerSec    float64 `json:"reads_per_sec"`
+	ReadsPerSecMed float64 `json:"reads_per_sec_median"`
+	WriteOpsPerSec float64 `json:"write_ops_per_sec"`
+	WriteOpsMed    float64 `json:"write_ops_per_sec_median"`
+	WriteNsPerOp   float64 `json:"write_ns_per_op"`
+	OpsPerBatch    float64 `json:"ops_per_batch"`
+	Epochs         float64 `json:"epochs"`
+}
+
+// buildReadWritePoints runs the E16 sweep for the JSON report.
+func buildReadWritePoints(sc Scale) []ReadWritePoint {
+	sz := batchSizesFor(sc)
+	n := sz.readwriteN
+	gmp := runtime.GOMAXPROCS(0)
+	streams := workload.WriterStreams(n, rwWriters, n, uint64(n)+1607)
+	var out []ReadWritePoint
+	for _, readers := range rwReaders {
+		best, med := measureReadWrite(n, rwEngineWorkers, readers, streams)
+		out = append(out, ReadWritePoint{
+			Readers:        readers,
+			Writers:        rwWriters,
+			GOMAXPROCS:     gmp,
+			ReadsPerSec:    best.readsPerSec,
+			ReadsPerSecMed: med.readsPerSec,
+			WriteOpsPerSec: best.opsPerSec,
+			WriteOpsMed:    med.opsPerSec,
+			WriteNsPerOp:   best.nsPerOp,
+			OpsPerBatch:    best.opsPerBatch,
+			Epochs:         best.epochs,
+		})
+	}
+	return out
+}

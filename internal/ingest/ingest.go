@@ -1,0 +1,248 @@
+// Package ingest implements the write-coalescing submission queue of the
+// concurrent MSF plane: many goroutines enqueue single edge updates
+// (multi-producer), one drainer goroutine dequeues them (single-consumer)
+// and coalesces maximal same-kind runs into the engine's existing batch
+// entry points, amortizing per-batch engine work — one classify round, one
+// aggregate flush, one snapshot publication — across every client whose op
+// landed in the run. Each submission returns a Future resolving to the
+// op's individual error once its batch applies, so callers get per-op
+// results with batch-level cost.
+//
+// Ordering: the queue is FIFO. Ops apply in submission order (two ops from
+// one goroutine apply in their Submit order; ops racing from different
+// goroutines apply in their arrival order), so a producer's own
+// insert-then-delete sequences behave exactly as the synchronous API.
+// Write latency is bounded by batch cadence: the drainer never waits to
+// fill a batch — it applies whatever has accumulated the moment the engine
+// is free, up to MaxBatch ops at a time.
+package ingest
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed reports a Submit or Flush on a closed queue.
+var ErrClosed = errors.New("ingest: queue closed")
+
+// Op is one edge update: an insertion of (U, V) with weight W, or — when
+// Delete is set — a deletion of edge (U, V).
+type Op struct {
+	Delete bool
+	U, V   int
+	W      int64
+}
+
+// Future resolves to one submitted op's result once its batch has applied.
+type Future struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the op has applied and returns its error (nil on
+// success; the same error the synchronous entry point would have returned,
+// or ErrClosed when the queue was closed before the op was accepted).
+func (f *Future) Wait() error {
+	<-f.done
+	return f.err
+}
+
+// Done returns a channel closed when the op has applied.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Err returns the op's error; call only after Wait or Done.
+func (f *Future) Err() error { return f.err }
+
+// NewFailed returns an already-resolved Future carrying err (for callers
+// that must reject a submission without reaching a queue).
+func NewFailed(err error) *Future {
+	f := &Future{done: make(chan struct{}), err: err}
+	close(f.done)
+	return f
+}
+
+// Applier is the drainer's sink: the batch entry points of the engine
+// being fed. Calls arrive on the single drainer goroutine, one at a time.
+// The returned slice has one error slot per op (nil on success) or is nil
+// when every op succeeded.
+type Applier interface {
+	ApplyInserts(ops []Op) []error
+	ApplyDeletes(ops []Op) []error
+}
+
+// Stats is a point-in-time counter snapshot of a queue's drainer.
+type Stats struct {
+	Ops     uint64 // ops applied through the queue
+	Batches uint64 // engine batches those ops coalesced into
+}
+
+// item is one queue entry: an op with its future, or a flush marker.
+type item struct {
+	op    Op
+	fut   *Future
+	flush chan struct{}
+}
+
+// Queue is the MPSC submission queue. Create with New, release with Close.
+type Queue struct {
+	ch       chan item
+	maxBatch int
+	applier  Applier
+
+	mu     sync.RWMutex // closed flag vs in-flight Submit/Flush sends
+	closed bool
+
+	drained chan struct{} // closed when the drainer has exited
+
+	ops     atomic.Uint64
+	batches atomic.Uint64
+
+	scratch []Op // drainer-local batch assembly buffer
+	pending []item
+}
+
+// New starts a queue feeding applier. depth is the submission channel's
+// buffer (backpressure bound: producers block once depth ops are waiting);
+// maxBatch caps how many ops one drained batch may coalesce. Values < 1
+// fall back to defaults (depth 1024, maxBatch 512).
+func New(applier Applier, depth, maxBatch int) *Queue {
+	if depth < 1 {
+		depth = 1024
+	}
+	if maxBatch < 1 {
+		maxBatch = 512
+	}
+	q := &Queue{
+		ch:       make(chan item, depth),
+		maxBatch: maxBatch,
+		applier:  applier,
+		drained:  make(chan struct{}),
+		scratch:  make([]Op, 0, maxBatch),
+		pending:  make([]item, 0, maxBatch),
+	}
+	go q.drain()
+	return q
+}
+
+// Submit enqueues one op and returns its Future. Safe for concurrent use;
+// blocks only when the queue buffer is full (backpressure). After Close,
+// returns an already-resolved Future with ErrClosed.
+func (q *Queue) Submit(op Op) *Future {
+	fut := &Future{done: make(chan struct{})}
+	q.mu.RLock()
+	if q.closed {
+		q.mu.RUnlock()
+		fut.err = ErrClosed
+		close(fut.done)
+		return fut
+	}
+	q.ch <- item{op: op, fut: fut}
+	q.mu.RUnlock()
+	return fut
+}
+
+// Flush blocks until every op submitted before the call has applied.
+// Returns ErrClosed if the queue is closed (a closed queue has already
+// drained everything it accepted).
+func (q *Queue) Flush() error {
+	marker := make(chan struct{})
+	q.mu.RLock()
+	if q.closed {
+		q.mu.RUnlock()
+		return ErrClosed
+	}
+	q.ch <- item{flush: marker}
+	q.mu.RUnlock()
+	<-marker
+	return nil
+}
+
+// Close stops accepting submissions, waits for every accepted op to apply,
+// and releases the drainer goroutine. Idempotent.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	already := q.closed
+	q.closed = true
+	if !already {
+		close(q.ch)
+	}
+	q.mu.Unlock()
+	<-q.drained
+}
+
+// Stats returns the ops/batches counters (safe concurrently; the two
+// counters are read independently and may be one batch apart).
+func (q *Queue) Stats() Stats {
+	return Stats{Ops: q.ops.Load(), Batches: q.batches.Load()}
+}
+
+// drain is the single consumer: block for the first waiting item, scoop up
+// whatever else has arrived (bounded by maxBatch), apply, repeat.
+func (q *Queue) drain() {
+	defer close(q.drained)
+	for {
+		it, ok := <-q.ch
+		if !ok {
+			return
+		}
+		pending := append(q.pending[:0], it)
+	collect:
+		for len(pending) < q.maxBatch {
+			select {
+			case it, ok := <-q.ch:
+				if !ok {
+					break collect
+				}
+				pending = append(pending, it)
+			default:
+				break collect
+			}
+		}
+		q.apply(pending)
+		clear(pending) // drop future pointers from the pooled buffer
+		q.pending = pending[:0]
+	}
+}
+
+// apply coalesces the drained items into maximal same-kind runs, applies
+// each run as one engine batch in FIFO order, and resolves the futures.
+// Flush markers release at their queue position, i.e. after everything
+// submitted before them has applied.
+func (q *Queue) apply(items []item) {
+	for i := 0; i < len(items); {
+		if items[i].flush != nil {
+			close(items[i].flush)
+			i++
+			continue
+		}
+		del := items[i].op.Delete
+		j := i
+		for j < len(items) && items[j].flush == nil && items[j].op.Delete == del {
+			j++
+		}
+		run := items[i:j]
+		ops := q.scratch[:0]
+		for _, r := range run {
+			ops = append(ops, r.op)
+		}
+		var errs []error
+		if del {
+			errs = q.applier.ApplyDeletes(ops)
+		} else {
+			errs = q.applier.ApplyInserts(ops)
+		}
+		q.scratch = ops[:0]
+		// Count before resolving: anyone observing a future resolve (and
+		// therefore anyone a Flush released) sees Stats covering that op.
+		q.ops.Add(uint64(len(run)))
+		q.batches.Add(1)
+		for k, r := range run {
+			if errs != nil {
+				r.fut.err = errs[k]
+			}
+			close(r.fut.done)
+		}
+		i = j
+	}
+}

@@ -1,0 +1,201 @@
+package ingest
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// recorder is a test Applier that logs batches and fails ops on demand.
+type recorder struct {
+	mu      sync.Mutex
+	batches [][]Op
+	failOn  func(Op) error
+}
+
+func (r *recorder) apply(ops []Op) []error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := append([]Op(nil), ops...)
+	r.batches = append(r.batches, cp)
+	var errs []error
+	for i, op := range ops {
+		if r.failOn != nil {
+			if err := r.failOn(op); err != nil {
+				if errs == nil {
+					errs = make([]error, len(ops))
+				}
+				errs[i] = err
+			}
+		}
+	}
+	return errs
+}
+
+func (r *recorder) ApplyInserts(ops []Op) []error { return r.apply(ops) }
+func (r *recorder) ApplyDeletes(ops []Op) []error { return r.apply(ops) }
+
+func TestFIFOAndCoalescing(t *testing.T) {
+	rec := &recorder{}
+	q := New(rec, 64, 16)
+	var futs []*Future
+	for i := 0; i < 10; i++ {
+		futs = append(futs, q.Submit(Op{U: i, V: i + 1, W: int64(i)}))
+	}
+	for i := 0; i < 5; i++ {
+		futs = append(futs, q.Submit(Op{Delete: true, U: i, V: i + 1}))
+	}
+	if err := q.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futs {
+		if err := f.Wait(); err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	// All 15 ops applied, in order, with deletes never riding an insert run.
+	var seen []Op
+	for _, b := range rec.batches {
+		kind := b[0].Delete
+		for _, op := range b {
+			if op.Delete != kind {
+				t.Fatal("mixed-kind batch")
+			}
+			seen = append(seen, op)
+		}
+	}
+	if len(seen) != 15 {
+		t.Fatalf("applied %d ops, want 15", len(seen))
+	}
+	for i := 0; i < 10; i++ {
+		if seen[i].Delete || seen[i].U != i {
+			t.Fatalf("op %d out of order: %+v", i, seen[i])
+		}
+	}
+	for i := 10; i < 15; i++ {
+		if !seen[i].Delete || seen[i].U != i-10 {
+			t.Fatalf("op %d out of order: %+v", i, seen[i])
+		}
+	}
+	st := q.Stats()
+	if st.Ops != 15 || st.Batches == 0 || st.Batches > 15 {
+		t.Fatalf("stats = %+v", st)
+	}
+	q.Close()
+}
+
+func TestPerOpErrors(t *testing.T) {
+	bad := errors.New("bad op")
+	rec := &recorder{failOn: func(op Op) error {
+		if op.U == 3 {
+			return bad
+		}
+		return nil
+	}}
+	q := New(rec, 8, 8)
+	defer q.Close()
+	var futs []*Future
+	for i := 0; i < 6; i++ {
+		futs = append(futs, q.Submit(Op{U: i, V: i + 1}))
+	}
+	for i, f := range futs {
+		err := f.Wait()
+		if i == 3 && err != bad {
+			t.Fatalf("future 3: err = %v, want bad", err)
+		}
+		if i != 3 && err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+	}
+}
+
+func TestMaxBatchBound(t *testing.T) {
+	rec := &recorder{}
+	q := New(rec, 256, 4)
+	for i := 0; i < 64; i++ {
+		q.Submit(Op{U: i, V: i + 1})
+	}
+	if err := q.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for _, b := range rec.batches {
+		if len(b) > 4 {
+			t.Fatalf("batch of %d exceeds maxBatch 4", len(b))
+		}
+	}
+}
+
+func TestCloseDrainsAndRejects(t *testing.T) {
+	rec := &recorder{}
+	q := New(rec, 128, 32)
+	var futs []*Future
+	for i := 0; i < 40; i++ {
+		futs = append(futs, q.Submit(Op{U: i, V: i + 1}))
+	}
+	q.Close()
+	for i, f := range futs {
+		if err := f.Wait(); err != nil {
+			t.Fatalf("accepted op %d lost on Close: %v", i, err)
+		}
+	}
+	if err := q.Submit(Op{U: 1, V: 2}).Wait(); err != ErrClosed {
+		t.Fatalf("Submit after Close: err = %v, want ErrClosed", err)
+	}
+	if err := q.Flush(); err != ErrClosed {
+		t.Fatalf("Flush after Close: err = %v, want ErrClosed", err)
+	}
+	q.Close() // idempotent
+}
+
+func TestConcurrentProducers(t *testing.T) {
+	rec := &recorder{}
+	q := New(rec, 32, 8)
+	const producers = 8
+	const perProducer = 200
+	var wg sync.WaitGroup
+	errCh := make(chan error, producers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var last *Future
+			for i := 0; i < perProducer; i++ {
+				last = q.Submit(Op{U: p, V: i, W: int64(i)})
+			}
+			errCh <- last.Wait() // FIFO: last resolved => all resolved
+		}(p)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := q.Stats(); st.Ops != producers*perProducer {
+		t.Fatalf("applied %d ops, want %d", st.Ops, producers*perProducer)
+	}
+	q.Close()
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	// Per-producer order is preserved within the global FIFO.
+	next := [producers]int{}
+	for _, b := range rec.batches {
+		for _, op := range b {
+			if op.V != next[op.U] {
+				t.Fatalf("producer %d op %d applied after %d", op.U, op.V, next[op.U])
+			}
+			next[op.U]++
+		}
+	}
+	for p, n := range next {
+		if n != perProducer {
+			t.Fatalf("producer %d: %d ops applied", p, n)
+		}
+	}
+}

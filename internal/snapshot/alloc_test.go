@@ -1,0 +1,40 @@
+package snapshot
+
+import "testing"
+
+// TestPublishAllocFree pins the steady-state allocation ceiling of snapshot
+// publication: once the pool is warm, one Begin/fill/Publish epoch — with a
+// concurrent-style Acquire/Release reader cycle riding along — allocates
+// nothing. Buffers cycle between the current snapshot and the free list;
+// the epoch swap is one atomic pointer store. This is the regression gate
+// for the read plane; it will fail if a per-epoch slice, closure or map
+// sneaks into the publish path.
+func TestPublishAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; gate runs without -race")
+	}
+	const n = 256
+	p := NewPublisher(n)
+	k := 0
+	step := func() {
+		k = (k % 64) + 1
+		b := p.Begin(n)
+		comp := b.Comp(n)
+		for v := range comp {
+			comp[v] = int32(v % (k + 1))
+		}
+		for i := 0; i < k; i++ {
+			b.AppendEdge(i, i+1, int64(i+1))
+		}
+		b.SetWeight(int64(k))
+		p.Publish(b)
+		s := p.Acquire()
+		s.Release()
+	}
+	for i := 0; i < 128; i++ {
+		step() // warm the pool to the scenario's high-water mark
+	}
+	if avg := testing.AllocsPerRun(500, step); avg > 0 {
+		t.Fatalf("steady-state publish allocates %v objects per epoch, want 0", avg)
+	}
+}

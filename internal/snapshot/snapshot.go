@@ -1,0 +1,254 @@
+// Package snapshot implements the epoch-versioned read plane of the dynamic
+// MSF: after every applied update batch the write path publishes an
+// immutable Snapshot — a flat component-id array, the forest edge list, the
+// total weight and an epoch counter — and concurrent readers answer
+// Connected/Components/Weight/Edges queries against the current snapshot
+// without ever touching engine state. Publication is one atomic pointer
+// store; reads are lock-free and wait-free against the writer (a reader
+// never blocks on an in-flight batch, it simply observes the previous
+// epoch).
+//
+// Snapshots are pooled, and retirement is publisher-owned: readers only
+// ever touch the atomic reference count (Acquire adds, validates the
+// current pointer, retries on failure; Release is a bare decrement), while
+// the Publisher — whose Begin/Publish calls are serialized by the write
+// path — keeps the retired snapshots on a private list and reuses one only
+// after observing its reference count at zero. That single-owner design is
+// what makes recycling safe against arbitrarily slow readers: there is no
+// reader-side "return to pool" step that could land late and hand a
+// live snapshot's buffers to the builder (a decrement observed at zero
+// happens-before the builder's writes through the same atomic), and a
+// reader that never calls Release simply keeps its snapshot valid forever —
+// the publisher abandons unreclaimed entries to the garbage collector
+// instead of waiting on them. Steady-state publication allocates nothing.
+package snapshot
+
+import "sync/atomic"
+
+// Edge is one forest edge of a snapshot, in original vertex space.
+type Edge struct {
+	U, V int
+	W    int64
+}
+
+// Snapshot is an immutable point-in-time view of the maintained forest.
+// All methods are read-only and safe for concurrent use by any number of
+// goroutines. Snapshots are created by a Publisher; the zero value is not
+// meaningful.
+type Snapshot struct {
+	epoch  uint64
+	n      int
+	weight int64
+	comp   []int32 // component id per vertex, dense in [0, #components)
+	edges  []Edge  // forest edges, engine iteration order
+
+	refs atomic.Int64 // readers + (1 while current or building) publisher reference
+}
+
+// Epoch returns the snapshot's version: publisher epochs start at 0 (the
+// empty forest) and increase by one per published snapshot, so any two
+// snapshots from one Publisher are ordered by Epoch.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// N returns the vertex count.
+func (s *Snapshot) N() int { return s.n }
+
+// Weight returns the total weight of the forest.
+func (s *Snapshot) Weight() int64 { return s.weight }
+
+// Size returns the number of forest edges.
+func (s *Snapshot) Size() int { return len(s.edges) }
+
+// Components returns the number of connected components (isolated vertices
+// count): n minus the number of forest edges.
+func (s *Snapshot) Components() int { return s.n - len(s.edges) }
+
+// Connected reports whether u and v were in one tree at this epoch. O(1).
+func (s *Snapshot) Connected(u, v int) bool { return s.comp[u] == s.comp[v] }
+
+// ComponentOf returns v's component id: dense in [0, Components()), stable
+// within one snapshot (ids are assigned in vertex first-occurrence order)
+// but not across epochs.
+func (s *Snapshot) ComponentOf(v int) int { return int(s.comp[v]) }
+
+// Edges calls fn for every forest edge, stopping early on false. O(Size).
+func (s *Snapshot) Edges(fn func(u, v int, w int64) bool) {
+	for _, e := range s.edges {
+		if !fn(e.U, e.V, e.W) {
+			return
+		}
+	}
+}
+
+// Release drops the caller's reference, making the snapshot's buffers
+// eligible for reuse by a later publication once no reader holds it.
+// Calling Release is optional — an unreleased snapshot stays valid and is
+// garbage collected normally — but releasing keeps publication
+// allocation-free. A snapshot must not be used after its Release, and
+// Release must be called at most once per Acquire. Wait-free: one atomic
+// decrement; retirement itself is the publisher's job, never the
+// reader's.
+func (s *Snapshot) Release() { s.refs.Add(-1) }
+
+// maxRetired bounds the publisher's retired list: entries beyond it —
+// snapshots still pinned by readers that may never release — are abandoned
+// to the garbage collector rather than tracked forever.
+const maxRetired = 4
+
+// Publisher owns the current snapshot pointer and the retired snapshots
+// awaiting reuse. One goroutine at a time may Begin/Publish/Abort (the
+// write path is serialized by the caller); any number of goroutines may
+// Acquire/Release concurrently.
+type Publisher struct {
+	cur   atomic.Pointer[Snapshot]
+	epoch uint64 // last published epoch (publisher side only)
+
+	// retired holds swapped-out snapshots, publisher-side only. An entry
+	// is reused once its refs are observed at zero; observing that zero
+	// through the same atomic the readers decrement is what orders every
+	// past reader's access before the builder's buffer reuse.
+	retired []*Snapshot
+}
+
+// NewPublisher creates a publisher over n vertices and publishes the
+// epoch-0 snapshot of the empty forest (every vertex its own component), so
+// Acquire never observes a nil snapshot.
+func NewPublisher(n int) *Publisher {
+	p := &Publisher{}
+	b := p.Begin(n)
+	comp := b.Comp(n)
+	for v := range comp {
+		comp[v] = int32(v)
+	}
+	b.s.epoch = 0
+	p.cur.Store(b.s)
+	return p
+}
+
+// Acquire returns the current snapshot with a reader reference held. The
+// caller should Release it when done; see Snapshot.Release. Acquire is
+// lock-free and never blocks on a concurrent publish.
+func (p *Publisher) Acquire() *Snapshot {
+	for {
+		s := p.cur.Load()
+		s.refs.Add(1)
+		// Re-validate: if s is still current, our reference was taken
+		// before the publisher could observe zero refs and recycle it, and
+		// its contents are frozen while we hold it. If s was swapped out
+		// meanwhile, it may already be rebuilding — drop the speculative
+		// reference and retry; the speculative add/drop touches only the
+		// counter, never the payload. The ABA case (s retired, recycled
+		// and re-published between the two loads) is benign: validation
+		// then accepts s, which is once again the current, fully built
+		// snapshot, and the validating load orders the builder's writes
+		// before our reads.
+		if p.cur.Load() == s {
+			return s
+		}
+		s.Release()
+	}
+}
+
+// Epoch returns the last published epoch. Publisher side only (not
+// synchronized with concurrent Publish calls).
+func (p *Publisher) Epoch() uint64 { return p.epoch }
+
+// Builder is a pooled snapshot being filled before publication. It must be
+// used by one goroutine and either published or discarded with Abort.
+type Builder struct {
+	s *Snapshot
+}
+
+// Begin starts building the next snapshot, reusing a retired snapshot's
+// buffers when one has fully drained (allocating only otherwise). n is the
+// vertex count of the forthcoming snapshot. Publisher side only.
+func (p *Publisher) Begin(n int) Builder {
+	var s *Snapshot
+	for i, r := range p.retired {
+		if r.refs.Load() == 0 {
+			// Observing zero through the readers' own atomic orders every
+			// past reader's payload access before the writes below. A
+			// stale reader may still run a speculative add/validate/drop
+			// cycle on this snapshot concurrently, but that cycle touches
+			// only the counter until validation succeeds — which requires
+			// this snapshot to be re-published, fully built, first.
+			s = r
+			last := len(p.retired) - 1
+			p.retired[i] = p.retired[last]
+			p.retired[last] = nil
+			p.retired = p.retired[:last]
+			break
+		}
+	}
+	if s == nil {
+		s = &Snapshot{}
+	}
+	s.refs.Add(1) // the publisher's reference, dropped when unpublished
+	s.n = n
+	s.weight = 0
+	s.edges = s.edges[:0]
+	return Builder{s: s}
+}
+
+// Comp returns the component-id array of the snapshot under construction,
+// resized to n. The caller must fill every cell.
+func (b Builder) Comp(n int) []int32 {
+	s := b.s
+	if cap(s.comp) < n {
+		s.comp = make([]int32, n)
+	}
+	s.comp = s.comp[:n]
+	return s.comp
+}
+
+// AppendEdge records one forest edge.
+func (b Builder) AppendEdge(u, v int, w int64) {
+	b.s.edges = append(b.s.edges, Edge{U: u, V: v, W: w})
+}
+
+// SetWeight records the forest's total weight.
+func (b Builder) SetWeight(w int64) { b.s.weight = w }
+
+// Publish freezes the builder's snapshot at the next epoch and swaps it in
+// as current with one atomic pointer store; the previous snapshot joins
+// the retired list for reuse once its readers drain. Returns the published
+// snapshot (without an extra reader reference). Publisher side only.
+func (p *Publisher) Publish(b Builder) *Snapshot {
+	s := b.s
+	p.epoch++
+	s.epoch = p.epoch
+	old := p.cur.Swap(s)
+	if old != nil {
+		old.Release() // drop the publisher's reference to the previous epoch
+		p.retire(old)
+	}
+	return s
+}
+
+// Abort discards a builder without publishing, returning its buffers for
+// reuse. Publisher side only.
+func (p *Publisher) Abort(b Builder) {
+	b.s.Release()
+	p.retire(b.s)
+}
+
+// retire records a swapped-out snapshot for buffer reuse, abandoning the
+// oldest still-pinned entries to the GC when the list outgrows maxRetired
+// (a reader that never releases keeps its snapshot valid; it just cannot
+// be recycled).
+func (p *Publisher) retire(s *Snapshot) {
+	p.retired = append(p.retired, s)
+	if len(p.retired) <= maxRetired {
+		return
+	}
+	kept := p.retired[:0]
+	for _, r := range p.retired {
+		if len(kept) < maxRetired && r.refs.Load() == 0 {
+			kept = append(kept, r)
+		}
+	}
+	for i := len(kept); i < len(p.retired); i++ {
+		p.retired[i] = nil
+	}
+	p.retired = kept
+}

@@ -150,6 +150,7 @@ func (f *Forest) InsertEdges(items []batch.Edge) []error {
 	}
 	if staged > 0 {
 		f.runBatch(fr)
+		f.applied()
 	}
 	return errs
 }
@@ -175,6 +176,7 @@ func (f *Forest) DeleteEdges(keys [][2]int) []error {
 	}
 	if staged > 0 {
 		f.runBatch(fr)
+		f.applied()
 	}
 	return errs
 }

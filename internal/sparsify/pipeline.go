@@ -3,6 +3,7 @@ package sparsify
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"parmsf/internal/batch"
 )
@@ -17,12 +18,23 @@ import (
 // overlap Section 5.3's depth accounting permits, since only the
 // child-before-parent order is semantically required.
 //
+// Completion bookkeeping is sharded off the scheduler goroutine: the
+// goroutine that applies a node also drains that node's forest-delta
+// events (it owns the node's engine until the parent consumes the drain)
+// and decrements the parent's atomic readiness counter, and only the
+// decrement that releases the parent sends a notification — one message
+// per *released parent* rather than one per completed child, so the
+// scheduler's serial section is O(nodes whose turn arrived), not O(node
+// completions). The scheduler keeps for itself exactly the state that is
+// inherently shared: assembling a parent's input group, the f.nodes map
+// (materialize/GC), the node-op counters and the batch cost merge.
+//
 // Determinism is preserved regardless of completion order:
 //
-//   - A node's input delta is assembled by draining its children in fixed
-//     sibling order (childKeys order, which is sorted), so the coalesced
-//     group — and therefore the node's engine op order — is exactly what
-//     the level-barrier sweep produces.
+//   - A node's input delta is assembled by merging its children's drained
+//     events in fixed sibling order (childKeys order, which is sorted), so
+//     the coalesced group — and therefore the node's engine op order — is
+//     exactly what the level-barrier sweep produces.
 //   - Per-node depth/work deltas come from the node's private engine
 //     simulator, which only the node's own task touches; the batch
 //     aggregate merges them commutatively (max for depth, sum for work),
@@ -32,14 +44,15 @@ import (
 // pnode is one node of a batch's dependency closure.
 type pnode struct {
 	key      nodeKey
-	group    *group   // leaf seed group (nil for internal nodes)
-	parent   *pnode   // nil at the root
-	children []*pnode // closure children in sorted sibling order
-	waiting  int      // children that have not yet completed
-	nd       *node    // materialized tree node (nil when the delta cancelled)
-	out      []event  // forest-delta events drained after completion
-	depthD   int64    // this node's engine depth delta
-	workD    int64    // this node's engine work delta
+	group    *group       // leaf seed group (nil for internal nodes)
+	parent   *pnode       // nil at the root
+	children []*pnode     // closure children in sorted sibling order
+	waiting  atomic.Int32 // children that have not yet completed
+	nd       *node        // materialized tree node (nil when the delta cancelled)
+	out      []event      // forest-delta events drained at completion
+	depthD   int64        // this node's engine depth delta
+	workD    int64        // this node's engine work delta
+	finished bool         // set (pre-notification) once the node completed
 }
 
 // runBatchPipelined drives one batch through the dependency-driven
@@ -47,7 +60,9 @@ type pnode struct {
 // bounded by the spawner); with Spawn nil every task runs inline, which
 // executes the identical schedule sequentially.
 func (f *Forest) runBatchPipelined(fr frontier) {
-	// Build the closure: every touched leaf and all of its ancestors.
+	// Build the closure: every touched leaf and all of its ancestors. The
+	// recursion always reaches level 0, so the closure has exactly one
+	// root (parent == nil).
 	nodes := make(map[nodeKey]*pnode, 2*len(fr))
 	var all []*pnode
 	var get func(k nodeKey) *pnode
@@ -73,7 +88,7 @@ func (f *Forest) runBatchPipelined(fr frontier) {
 					p.children = append(p.children, c)
 				}
 			}
-			p.waiting = len(p.children)
+			p.waiting.Store(int32(len(p.children)))
 		}
 	}
 
@@ -81,48 +96,101 @@ func (f *Forest) runBatchPipelined(fr frontier) {
 	// deterministic order the barrier sweep uses within a level).
 	ready := make([]*pnode, 0, len(fr))
 	for _, p := range all {
-		if p.waiting == 0 {
+		if p.waiting.Load() == 0 {
 			ready = append(ready, p)
 		}
 	}
 	sortNodeKeysOf(ready)
 
-	var depth, work int64
-	done := make(chan *pnode, len(all))
-	inflight := 0
+	// Every node sends at most one notification (a released parent, or the
+	// completed root), so the buffer bounds every send as non-blocking.
+	notify := make(chan *pnode, len(all))
 
-	// finish records a completed node on the host: drain its forest-delta
-	// events (strictly before the node may be destroyed), merge its cost
-	// deltas, and release its parent when it was the last pending child.
-	finish := func(p *pnode) {
+	// complete finishes node p on whichever goroutine ran it: drain its
+	// forest-delta events (the drain must precede the parent's assembly,
+	// and may race with nothing — p's engine is quiescent and the parent
+	// cannot start until the release below), then decrement the parent's
+	// readiness. The child whose decrement hits zero notifies the
+	// scheduler that the parent's turn arrived; the root, having no
+	// parent, notifies its own completion, which ends the batch.
+	complete := func(p *pnode) {
 		if p.nd != nil {
 			p.out = p.nd.drain()
-			f.gc(p.nd)
 		}
-		if p.depthD > depth {
-			depth = p.depthD
-		}
-		work += p.workD
+		p.finished = true
 		if par := p.parent; par != nil {
-			par.waiting--
-			if par.waiting == 0 {
-				ready = append(ready, par)
+			if par.waiting.Add(-1) == 0 {
+				notify <- par
 			}
+		} else {
+			notify <- p
 		}
 	}
 
-	for len(ready) > 0 || inflight > 0 {
-		if len(ready) == 0 {
-			p := <-done
-			inflight--
-			finish(p)
+	var depth, work int64
+	// consume merges a completed child into the batch on the scheduler:
+	// cost deltas (commutative max/sum) and the deferred node GC (the
+	// f.nodes map is scheduler-owned; the child was drained by its own
+	// task strictly before the release that made its parent — or the
+	// batch-end path — reach this point).
+	consume := func(c *pnode) {
+		if c.depthD > depth {
+			depth = c.depthD
+		}
+		work += c.workD
+		if c.nd != nil {
+			f.gc(c.nd)
+		}
+	}
+
+	rootDone := false
+	for !rootDone {
+		// Sweep every pending completion notification into the ready
+		// queue without blocking, so concurrently released parents
+		// accumulate and overlap (spawning happens only while a second
+		// runnable node exists — a ready queue fed one node at a time
+		// would serialize every internal level).
+	sweep:
+		for {
+			select {
+			case q := <-notify:
+				if q.finished {
+					// The root completed (possibly on a worker): merge its
+					// cost and the batch is done. The root is released only
+					// after every other node completed, so nothing runnable
+					// is abandoned.
+					consume(q)
+					rootDone = true
+					break sweep
+				}
+				ready = append(ready, q)
+			default:
+				break sweep
+			}
+		}
+		if rootDone {
+			break
+		}
+		var p *pnode
+		if len(ready) > 0 {
+			p = ready[0]
+			ready = ready[1:]
+		} else {
+			q := <-notify
+			if q.finished {
+				consume(q)
+				break
+			}
+			// A released parent; loop back through the sweep in case more
+			// completions landed right behind it.
+			ready = append(ready, q)
 			continue
 		}
-		p := ready[0]
-		ready = ready[1:]
 
 		// Assemble the node's input: its leaf seed, plus its children's
-		// drained events in sibling order.
+		// drained events in sibling order. The children all completed (the
+		// release that scheduled p happens-after every child's drain), so
+		// their costs merge and their emptied nodes retire here.
 		g := p.group
 		if g == nil {
 			g = &group{state: make(map[[2]int]*keyState)}
@@ -132,10 +200,14 @@ func (f *Forest) runBatchPipelined(fr frontier) {
 				g.add(ev.u, ev.v, ev.w, ev.added)
 			}
 			c.out = nil
+			consume(c)
 		}
 		dels, inss := g.net()
 		if len(dels) == 0 && len(inss) == 0 {
-			finish(p) // fully cancelled: don't materialize the node
+			// Fully cancelled: don't materialize the node. Completing it
+			// inline may release the parent (or end the batch) through the
+			// notification channel, which this loop drains.
+			complete(p)
 			continue
 		}
 
@@ -151,17 +223,16 @@ func (f *Forest) runBatchPipelined(fr frontier) {
 			// spawns when there is something to run alongside, so a pure
 			// chain (one runnable node at a time — every root path tail)
 			// executes inline with no goroutine churn at all.
-			inflight++
 			f.Spawn(func() {
 				f.runNodeTask(p, dels, inss)
-				done <- p
+				complete(p)
 			})
 		} else {
 			// Dispatcher participation: the scheduler goroutine runs the
-			// sole ready node itself instead of parking on the completion
-			// channel.
+			// sole ready node itself instead of parking on the
+			// notification channel.
 			f.runNodeTask(p, dels, inss)
-			finish(p)
+			complete(p)
 		}
 	}
 

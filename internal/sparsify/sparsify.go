@@ -127,6 +127,23 @@ type Forest struct {
 	// fallback" is PerEdgeNodeOps == 0).
 	BatchNodeOps   int64
 	PerEdgeNodeOps int64
+	// Applied counts the updates the tree has fully applied — one per
+	// single-edge operation, one per batch entry point that staged at
+	// least one edge. OnApplied, when set, fires at the same points,
+	// strictly past the batch's pipeline (or level-barrier) completion:
+	// every touched node has applied, every REdges delta has drained and
+	// every task goroutine has joined — the epoch source of the concurrent
+	// read plane, which publishes one immutable snapshot per applied
+	// update batch and must never observe the tree mid-propagation.
+	Applied   uint64
+	OnApplied func()
+	// events is the externally installed forest-change callback (original
+	// vertex space). It rides the root node's engine — the root forest is
+	// the graph's MSF — and persists across root destruction/recreation.
+	// During batch application it may fire on a worker goroutine (the
+	// goroutine applying the root node's delta), always strictly before
+	// the batch entry point returns.
+	events func(u, v int, w int64, added bool)
 }
 
 // New builds an empty sparsification tree over n >= 2 vertices.
@@ -196,11 +213,27 @@ func (f *Forest) getOrCreateKey(k nodeKey) *node {
 	// slack during delta application.
 	nd.eng = f.factory(localN, 2*localN+8)
 	nd.be, nd.native = asBatch(nd.eng)
-	nd.eng.SetEvents(func(lu, lv int, w int64, added bool) {
-		nd.pending = append(nd.pending, event{nd.global(lu), nd.global(lv), w, added})
-	})
+	if k.level == 0 && f.events != nil {
+		// The root's forest deltas are the tree's own output — nothing
+		// above consumes its pending events (drain discards them) — so the
+		// external callback takes their place, in original-id space (root
+		// locals are original ids).
+		nd.eng.SetEvents(f.events)
+	} else {
+		nd.eng.SetEvents(func(lu, lv int, w int64, added bool) {
+			nd.pending = append(nd.pending, event{nd.global(lu), nd.global(lv), w, added})
+		})
+	}
 	f.nodes[k] = nd
 	return nd
+}
+
+// applied records one fully applied update and fires the epoch hook.
+func (f *Forest) applied() {
+	f.Applied++
+	if f.OnApplied != nil {
+		f.OnApplied()
+	}
 }
 
 // drain returns and clears a node's pending forest-change events.
@@ -285,6 +318,7 @@ func (f *Forest) InsertEdge(u, v int, w int64) error {
 	delta := f.apply(leaf, []event{{u, v, w, true}})
 	f.gc(leaf)
 	f.propagate(u, v, delta)
+	f.applied()
 	return nil
 }
 
@@ -299,6 +333,7 @@ func (f *Forest) DeleteEdge(u, v int) error {
 	delta := f.apply(leaf, []event{{u, v, 0, false}})
 	f.gc(leaf)
 	f.propagate(u, v, delta)
+	f.applied()
 	return nil
 }
 
@@ -341,17 +376,40 @@ func (f *Forest) ForestEdges(fn func(u, v int, w int64) bool) {
 	}
 }
 
-// SetEvents is accepted for interface parity; the root engine's events are
-// forwarded.
+// SetEvents installs a forest-change callback in original vertex space,
+// fed by the root engine (whose forest is the graph's MSF). The callback
+// persists across root destruction and recreation; during batch updates it
+// may fire on the worker goroutine applying the root's delta, always
+// strictly before the batch entry point returns.
 func (f *Forest) SetEvents(fn func(u, v int, w int64, added bool)) {
-	// The root node may not exist yet; wrap lazily through a stub that
-	// installs on first use. Simplest: remember and install on root
-	// creation — but the root is created on the first propagate reaching
-	// level 0. For the current uses (tests, examples) installing when a
-	// root exists is sufficient.
+	f.events = fn
 	if r := f.root(); r != nil {
 		r.eng.SetEvents(fn)
 	}
+}
+
+// ExportComponents fills comp[v] with a dense component id for every
+// vertex v in [0, upto), per the current MSF: the root node's engine runs
+// its snapshot-export sweep (root-local ids are original ids). With no
+// root — the graph has never held an edge — every vertex is its own
+// component. Returns false when the root engine has no export hook; the
+// caller then derives components from the forest edge list instead. Must
+// not run concurrently with updates.
+func (f *Forest) ExportComponents(comp []int32, upto int) bool {
+	r := f.root()
+	if r == nil {
+		for v := 0; v < upto; v++ {
+			comp[v] = int32(v)
+		}
+		return true
+	}
+	ex, ok := r.eng.(interface {
+		ExportComponents(comp []int32, upto int) bool
+	})
+	if !ok {
+		return false
+	}
+	return ex.ExportComponents(comp, upto)
 }
 
 // CheckInvariant verifies, for every stored node, that its local edge count

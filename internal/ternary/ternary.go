@@ -67,6 +67,16 @@ type Wrapper struct {
 
 	events func(u, v int, w int64, added bool)
 
+	// Applied counts the engine updates this wrapper has fully applied —
+	// one per successful single-edge operation, one per batch entry point
+	// that reached the engine. OnApplied, when set, fires at the same
+	// points, strictly after the update (including its staged slot
+	// surgeries and deferred bookkeeping) has drained: the epoch source of
+	// the concurrent read plane, which publishes one immutable snapshot
+	// per applied update.
+	Applied   uint64
+	OnApplied func()
+
 	// Pooled batch scratch: the staged-slot op buffer shared by the
 	// InsertEdges / DeleteEdges entry points, the record list of a delete
 	// batch, and the staged compaction bookkeeping. Reused across batches
@@ -108,6 +118,14 @@ func New(n, maxEdges int, mk func(gadgetN int) Engine) *Wrapper {
 // N returns the number of original vertices.
 func (w *Wrapper) N() int { return w.n }
 
+// applied records one fully applied update and fires the epoch hook.
+func (w *Wrapper) applied() {
+	w.Applied++
+	if w.OnApplied != nil {
+		w.OnApplied()
+	}
+}
+
 // Gadget exposes the wrapped engine (tests).
 func (w *Wrapper) Gadget() Engine { return w.eng }
 
@@ -139,6 +157,7 @@ func (w *Wrapper) InsertEdge(u, v int, wt int64) error {
 	if err := w.eng.InsertEdge(int(rec.su), int(rec.sv), wt); err != nil {
 		panic(fmt.Sprintf("ternary: gadget insert failed: %v", err))
 	}
+	w.applied()
 	return nil
 }
 
@@ -265,6 +284,7 @@ func (w *Wrapper) DeleteEdge(u, v int) error {
 	delete(w.edges, k)
 	w.compact(rec.u, rec.su)
 	w.compact(rec.v, rec.sv)
+	w.applied()
 	return nil
 }
 
@@ -358,6 +378,23 @@ func (w *Wrapper) ForestEdges(f func(u, v int, wt int64) bool) {
 // M returns the number of live original edges.
 func (w *Wrapper) M() int { return len(w.edges) }
 
+// ExportComponents fills comp[v] with a dense component id for every
+// original vertex v in [0, upto), delegating to the wrapped engine's
+// snapshot-export sweep (base slots carry the original vertex ids, and the
+// ring paths keep every extra slot in its vertex's component, so the
+// gadget partition restricted to the base slots is exactly the original
+// partition). Returns false when the wrapped engine has no export hook
+// (non-core gadgets); the caller then derives components from the forest
+// edge list instead.
+func (w *Wrapper) ExportComponents(comp []int32, upto int) bool {
+	ex, ok := w.eng.(interface{ ExportComponents(comp []int32, upto int) })
+	if !ok {
+		return false
+	}
+	ex.ExportComponents(comp, upto)
+	return true
+}
+
 // BatchEngine is the optional batch interface of a wrapped engine: an
 // engine exposing the staged batch-application pipeline (core.MSF). When
 // the wrapped engine implements it, the wrapper's InsertEdges/DeleteEdges
@@ -409,8 +446,12 @@ func (w *Wrapper) InsertEdges(items []BatchEdge) []error {
 			}
 		}
 	}
+	applied := len(ops) > 0
 	w.opsScratch = ops[:0]
 	w.assertRings()
+	if applied {
+		w.applied()
+	}
 	return errs
 }
 
@@ -497,6 +538,7 @@ func (w *Wrapper) DeleteEdges(keys [][2]int) []error {
 	clear(recs)
 	w.recScratch = recs[:0]
 	w.assertRings()
+	w.applied()
 	return errs
 }
 

@@ -248,6 +248,35 @@ func BuildTeardown(n int, base []Edge, seed uint64) Stream {
 	return Stream{N: n, Ops: ops}
 }
 
+// WriterStreams builds the update side of the mixed reader/writer serving
+// scenario (E16): q deterministic churn streams over disjoint vertex
+// intervals of [0, n), one per concurrent writer. Disjointness makes the
+// scenario conflict-free — no writer's insert can collide with another's
+// live edge, so every submitted op succeeds regardless of interleaving —
+// while queries still span intervals (cross-interval pairs are simply
+// never connected). Each stream starts empty and alternates insertions of
+// fresh edges with deletions of live ones, the same shape Churn produces.
+func WriterStreams(n, q, steps int, seed uint64) []Stream {
+	if q < 1 {
+		q = 1
+	}
+	span := n / q
+	if span < 2 {
+		panic("workload: WriterStreams needs n/q >= 2")
+	}
+	out := make([]Stream, q)
+	for i := range out {
+		st := Churn(span, nil, steps, false, seed+uint64(i)*7919)
+		for j := range st.Ops {
+			st.Ops[j].U += i * span
+			st.Ops[j].V += i * span
+		}
+		st.N = n
+		out[i] = st
+	}
+	return out
+}
+
 // SlidingWindow builds the classic temporal-graph stream: edges arrive one
 // per step and expire after `window` steps, so the live graph is always the
 // most recent `window` arrivals. Every step beyond the warm-up is one

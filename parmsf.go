@@ -20,14 +20,41 @@
 //	f.Delete(u, v)
 //	connected := f.Connected(a, b)
 //	total := f.Weight()
+//
+// # Concurrency
+//
+// The read and write planes are decoupled. After every applied update the
+// forest publishes an immutable epoch-versioned Snapshot (component ids,
+// forest edge list, total weight); Connected, Weight, Size, Components and
+// Edges answer from the current snapshot with lock-free reads, so any
+// number of goroutines may query concurrently with updates — a reader
+// never blocks on an in-flight batch, it observes the previous epoch until
+// the batch publishes. Snapshot returns the whole view for multi-query
+// consistency at one epoch.
+//
+// Mutators (Insert, Delete, InsertEdges, DeleteEdges) are serialized by an
+// internal lock: concurrent callers are safe but apply one at a time. A
+// mutator that changed the forest republishes the snapshot before
+// returning — queries immediately observe its effect — at an O(n + forest
+// size) publication cost per applied update. Batches amortize that cost
+// over every edge they carry; for streams of single-edge updates prefer
+// Submit, which enqueues updates on a write-coalescing queue: a single
+// drainer batches whatever has accumulated into the engine's batch entry
+// points — amortizing engine work and publication across clients and
+// bounding write latency by batch cadence — and each submission resolves
+// its own Pending result once applied. Flush waits for everything
+// previously submitted.
 package parmsf
 
 import (
 	"errors"
+	"sync"
 
 	"parmsf/internal/batch"
 	"parmsf/internal/core"
+	"parmsf/internal/ingest"
 	"parmsf/internal/pram"
+	"parmsf/internal/snapshot"
 	"parmsf/internal/sparsify"
 	"parmsf/internal/ternary"
 )
@@ -50,7 +77,22 @@ var (
 	// ErrBadEdge reports a self loop, an out-of-range vertex, or a weight
 	// below MinWeight.
 	ErrBadEdge = errors.New("parmsf: invalid edge")
+	// ErrClosed reports a Submit or Flush after Close.
+	ErrClosed = errors.New("parmsf: forest closed")
 )
+
+// Snapshot is an immutable point-in-time view of the forest: a flat
+// component-id array, the forest edge list, the total weight and an epoch
+// counter, safe for concurrent use by any number of goroutines. Epochs are
+// strictly monotone in publication order, one per applied update that
+// changed the forest. Release (optional) returns the snapshot's buffers to
+// the publication pool; see the methods on the underlying type.
+type Snapshot = snapshot.Snapshot
+
+// Pending is the future of one submitted update: Wait (or Done/Err)
+// resolves to the same error the synchronous entry point would have
+// returned once the update's coalesced batch has applied.
+type Pending = ingest.Future
 
 // Options configures a Forest.
 type Options struct {
@@ -81,9 +123,21 @@ type Options struct {
 	// K overrides the chunk-size parameter (default: sqrt(n log n)
 	// sequential, sqrt(n) parallel).
 	K int
+	// QueueDepth is the submission buffer of the write-coalescing ingest
+	// queue behind Submit: producers block (backpressure) once this many
+	// updates are waiting for the drainer. 0 selects the default (1024).
+	QueueDepth int
+	// MaxBatch caps how many queued updates one drained engine batch may
+	// coalesce, bounding worst-case batch latency. 0 selects the default
+	// (512).
+	MaxBatch int
 }
 
 // Forest is a dynamic minimum spanning forest over vertices 0..n-1.
+// Queries are lock-free against the current snapshot and safe from any
+// goroutine; mutators are internally serialized; Submit enqueues updates
+// for the coalescing drainer. See the package comment's Concurrency
+// section.
 type Forest struct {
 	n     int
 	eng   engine
@@ -91,6 +145,18 @@ type Forest struct {
 	ch    core.Charger       // batch kernels route through this
 	spars *sparsify.Forest   // non-nil when Options.Sparsify is set
 	tasks *sparsify.TaskPool // pipeline node-task workers (Sparsify+Workers)
+
+	mu    sync.Mutex // serializes mutators (engine + publication state)
+	pub   *snapshot.Publisher
+	dirty bool // forest changed since the last published epoch
+	ufPar []int32
+
+	qmu     sync.Mutex // guards lazy queue creation vs Close
+	q       *ingest.Queue
+	qa      queueApplier
+	qopts   [2]int // configured {QueueDepth, MaxBatch}
+	qfinal  ingest.Stats
+	qclosed bool
 }
 
 // engine abstracts the composed pipeline.
@@ -180,7 +246,107 @@ func New(n int, opt Options) *Forest {
 	} else {
 		f.eng = ternary.New(n, opt.MaxEdges, mkCore)
 	}
+	// Wire the read plane: the engine reports forest deltas (so no-op
+	// updates skip republication) and fires the epoch hook once per fully
+	// applied update — past the sparsification pipeline barrier, past the
+	// ternary slot surgeries — at which point the engine is quiescent and
+	// a consistent snapshot can be built and swapped in.
+	f.pub = snapshot.NewPublisher(n)
+	f.qopts = [2]int{opt.QueueDepth, opt.MaxBatch}
+	f.qa.f = f
+	switch e := f.eng.(type) {
+	case *sparsify.Forest:
+		e.SetEvents(f.noteDelta)
+		e.OnApplied = f.publishIfDirty
+	case *ternary.Wrapper:
+		e.SetEvents(f.noteDelta)
+		e.OnApplied = f.publishIfDirty
+	}
 	return f
+}
+
+// noteDelta records that the maintained forest changed (engine event
+// callback). During batch application it may fire on a worker goroutine,
+// always strictly before the batch entry point returns, which
+// happens-before the publication hook's read.
+func (f *Forest) noteDelta(int, int, int64, bool) { f.dirty = true }
+
+// publishIfDirty is the engine's epoch hook: once per applied update, with
+// the mutator lock held by the caller chain. Updates that did not change
+// the forest (failed ops, pure non-tree churn cancellations) publish
+// nothing — the current snapshot is still exact.
+func (f *Forest) publishIfDirty() {
+	if !f.dirty {
+		return
+	}
+	f.dirty = false
+	f.publish()
+}
+
+// publish builds the next snapshot from the engine on pooled buffers and
+// swaps it in with one atomic pointer store. O(n + forest size); amortized
+// across every update a batch coalesced.
+func (f *Forest) publish() {
+	b := f.pub.Begin(f.n)
+	comp := b.Comp(f.n)
+	if ex, ok := f.eng.(componentExporter); !ok || !ex.ExportComponents(comp, f.n) {
+		f.componentsFromEdges(comp)
+	}
+	f.eng.ForestEdges(func(u, v int, w int64) bool {
+		b.AppendEdge(u, v, w)
+		return true
+	})
+	b.SetWeight(f.eng.Weight())
+	f.pub.Publish(b)
+}
+
+// componentExporter is the engine-side snapshot hook: one tour-root sweep
+// through the core structure (reusing the insert-classification kernel)
+// filling a dense component-id array. Engines that cannot export (baseline
+// gadgets in tests) return false and components are derived from the
+// forest edge list instead.
+type componentExporter interface {
+	ExportComponents(comp []int32, upto int) bool
+}
+
+// componentsFromEdges derives the component-id array from the forest edge
+// list with a pooled union-find (path halving): the fallback for engines
+// without the export sweep.
+func (f *Forest) componentsFromEdges(comp []int32) {
+	n := f.n
+	if cap(f.ufPar) < n {
+		f.ufPar = make([]int32, n)
+	}
+	par := f.ufPar[:n]
+	for v := range par {
+		par[v] = int32(v)
+	}
+	find := func(x int32) int32 {
+		for par[x] != x {
+			par[x] = par[par[x]]
+			x = par[x]
+		}
+		return x
+	}
+	f.eng.ForestEdges(func(u, v int, w int64) bool {
+		ru, rv := find(int32(u)), find(int32(v))
+		if ru != rv {
+			par[rv] = ru
+		}
+		return true
+	})
+	for v := range comp {
+		comp[v] = -1
+	}
+	next := int32(0)
+	for v := 0; v < n; v++ {
+		r := find(int32(v))
+		if comp[r] < 0 {
+			comp[r] = next
+			next++
+		}
+		comp[v] = comp[r]
+	}
 }
 
 // nodeMachine extracts the private PRAM simulator of a sparsification node
@@ -215,6 +381,12 @@ func (f *Forest) N() int { return f.n }
 // Insert adds edge (u, v) with weight w and updates the forest. Weights at
 // or below MinWeight are rejected.
 func (f *Forest) Insert(u, v int, w Weight) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.insertLocked(u, v, w)
+}
+
+func (f *Forest) insertLocked(u, v int, w Weight) error {
 	if w < MinWeight {
 		// Rejected up front — the same set the batch validation kernel
 		// rejects — so the sparsification tree never sees a weight its
@@ -239,6 +411,12 @@ func (f *Forest) Insert(u, v int, w Weight) error {
 // Delete removes edge (u, v) and updates the forest (finding a replacement
 // when a forest edge is removed).
 func (f *Forest) Delete(u, v int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.deleteLocked(u, v)
+}
+
+func (f *Forest) deleteLocked(u, v int) error {
 	defer f.absorbSpars()()
 	err := f.eng.DeleteEdge(u, v)
 	switch err {
@@ -294,6 +472,8 @@ func (f *Forest) InsertEdges(edges []Edge) []error {
 	if len(edges) == 0 {
 		return nil
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	defer f.absorbSpars()()
 	errs := make([]error, len(edges))
 	// Validation kernel: one EREW round, one processor per item, each
@@ -325,7 +505,7 @@ func (f *Forest) InsertEdges(edges []Edge) []error {
 		}
 	} else {
 		for _, it := range items {
-			if err := f.Insert(it.A, it.B, it.Key); err != nil {
+			if err := f.insertLocked(it.A, it.B, it.Key); err != nil {
 				errs[it.Idx] = err
 				failed++
 			}
@@ -367,6 +547,8 @@ func (f *Forest) DeleteEdges(keys []EdgeKey) []error {
 	if len(keys) == 0 {
 		return nil
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	defer f.absorbSpars()()
 	errs := make([]error, len(keys))
 	canon := make([]EdgeKey, len(keys))
@@ -406,7 +588,7 @@ func (f *Forest) DeleteEdges(keys []EdgeKey) []error {
 				failed++
 				continue
 			}
-			if err := f.Delete(k.U, k.V); err != nil {
+			if err := f.deleteLocked(k.U, k.V); err != nil {
 				errs[i] = err
 				failed++
 			}
@@ -418,11 +600,31 @@ func (f *Forest) DeleteEdges(keys []EdgeKey) []error {
 	return errs
 }
 
-// Close releases the worker goroutines behind Options.Workers — the PRAM
-// kernel pool and, with Sparsify, the pipeline's node-task workers. The
-// forest stays usable afterwards (kernels run sequentially; batch node
-// tasks run inline). Safe on any forest and safe to call twice.
+// Close drains and stops the ingest queue (every accepted Submit applies
+// before Close returns) and releases the worker goroutines behind
+// Options.Workers — the PRAM kernel pool and, with Sparsify, the
+// pipeline's node-task workers. The forest stays usable for synchronous
+// calls afterwards (kernels run sequentially; batch node tasks run
+// inline); Submit and Flush return ErrClosed. Safe on any forest and safe
+// to call twice.
 func (f *Forest) Close() {
+	f.qmu.Lock()
+	if q := f.q; q != nil {
+		// Drain under qmu (the drainer never touches qmu, so this cannot
+		// deadlock) and keep the final counters for IngestStats. This must
+		// happen before taking the mutator lock: the drainer's batch
+		// applications acquire f.mu.
+		q.Close()
+		f.qfinal = q.Stats()
+		f.q = nil
+	}
+	f.qclosed = true
+	f.qmu.Unlock()
+	// Release the executors under the mutator lock, so a concurrent
+	// synchronous mutator finishes its batch before its worker pools
+	// disappear out from under it.
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.mach != nil {
 		f.mach.Close()
 	}
@@ -433,21 +635,146 @@ func (f *Forest) Close() {
 	}
 }
 
-// Connected reports whether u and v are in the same tree.
-func (f *Forest) Connected(u, v int) bool { return f.eng.Connected(u, v) }
+// Snapshot returns the current epoch's immutable view of the forest:
+// lock-free, never blocking on in-flight updates, and safe to query from
+// any goroutine. Use it when several queries must observe one consistent
+// epoch. Calling Release when done recycles the snapshot's buffers
+// (optional — an unreleased snapshot stays valid and is garbage collected
+// normally).
+func (f *Forest) Snapshot() *Snapshot { return f.pub.Acquire() }
 
-// Weight returns the total weight of the forest.
-func (f *Forest) Weight() Weight { return f.eng.Weight() }
+// Connected reports whether u and v are in the same tree, per the current
+// snapshot. Lock-free; never blocks on an in-flight update.
+func (f *Forest) Connected(u, v int) bool {
+	s := f.pub.Acquire()
+	ok := s.Connected(u, v)
+	s.Release()
+	return ok
+}
 
-// Size returns the number of forest edges.
-func (f *Forest) Size() int { return f.eng.ForestSize() }
+// Weight returns the total weight of the forest, per the current snapshot.
+func (f *Forest) Weight() Weight {
+	s := f.pub.Acquire()
+	w := s.Weight()
+	s.Release()
+	return w
+}
 
-// Edges calls fn for every forest edge, stopping early on false.
-func (f *Forest) Edges(fn func(u, v int, w Weight) bool) { f.eng.ForestEdges(fn) }
+// Size returns the number of forest edges, per the current snapshot.
+func (f *Forest) Size() int {
+	s := f.pub.Acquire()
+	k := s.Size()
+	s.Release()
+	return k
+}
+
+// Edges calls fn for every forest edge of the current snapshot, stopping
+// early on false. The iteration never observes a partially applied batch.
+func (f *Forest) Edges(fn func(u, v int, w Weight) bool) {
+	s := f.pub.Acquire()
+	s.Edges(fn)
+	s.Release()
+}
 
 // Components returns the number of connected components (isolated vertices
-// count as components): n minus the number of forest edges.
-func (f *Forest) Components() int { return f.n - f.eng.ForestSize() }
+// count as components), per the current snapshot.
+func (f *Forest) Components() int {
+	s := f.pub.Acquire()
+	c := s.Components()
+	s.Release()
+	return c
+}
+
+// Update is one asynchronous edge update for Submit: an insertion of
+// (U, V) with weight W, or — when Delete is set — a deletion of (U, V).
+type Update struct {
+	Delete bool
+	U, V   int
+	W      Weight
+}
+
+// Submit enqueues one update on the write-coalescing ingest queue and
+// returns its Pending result. Safe for any number of concurrent producers;
+// ops apply in submission order, coalesced into engine batches by a single
+// drainer (sized by Options.QueueDepth / Options.MaxBatch), each batch
+// publishing one snapshot epoch. Submit blocks only when QueueDepth
+// updates are already waiting (backpressure). After Close the returned
+// Pending resolves immediately with ErrClosed.
+func (f *Forest) Submit(up Update) *Pending {
+	q := f.queue()
+	if q == nil {
+		return ingest.NewFailed(ErrClosed)
+	}
+	return q.Submit(ingest.Op{Delete: up.Delete, U: up.U, V: up.V, W: int64(up.W)})
+}
+
+// Flush blocks until every update submitted before the call has applied
+// (and its epoch published). Returns ErrClosed after Close; a forest that
+// never submitted anything flushes trivially (without starting the
+// drainer).
+func (f *Forest) Flush() error {
+	f.qmu.Lock()
+	q, closed := f.q, f.qclosed
+	f.qmu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if q == nil {
+		return nil
+	}
+	return q.Flush()
+}
+
+// IngestStats reports the coalescing drainer's counters: updates applied
+// through the queue and the engine batches they collapsed into (their
+// ratio is the coalescing factor). Zeros when Submit was never used; after
+// Close it keeps reporting the totals the queue drained to.
+func (f *Forest) IngestStats() (ops, batches uint64) {
+	f.qmu.Lock()
+	defer f.qmu.Unlock()
+	if f.q == nil {
+		return f.qfinal.Ops, f.qfinal.Batches
+	}
+	st := f.q.Stats()
+	return st.Ops, st.Batches
+}
+
+// queue lazily starts the ingest drainer; nil after Close.
+func (f *Forest) queue() *ingest.Queue {
+	f.qmu.Lock()
+	defer f.qmu.Unlock()
+	if f.q == nil && !f.qclosed {
+		f.q = ingest.New(&f.qa, f.qopts[0], f.qopts[1])
+	}
+	return f.q
+}
+
+// queueApplier adapts the forest's synchronous batch entry points to the
+// ingest drainer's sink, reusing one conversion buffer per kind (the
+// drainer is a single goroutine).
+type queueApplier struct {
+	f     *Forest
+	edges []Edge
+	keys  []EdgeKey
+}
+
+// ApplyInserts implements ingest.Applier.
+func (a *queueApplier) ApplyInserts(ops []ingest.Op) []error {
+	a.edges = a.edges[:0]
+	for _, op := range ops {
+		a.edges = append(a.edges, Edge{U: op.U, V: op.V, W: op.W})
+	}
+	return a.f.InsertEdges(a.edges)
+}
+
+// ApplyDeletes implements ingest.Applier.
+func (a *queueApplier) ApplyDeletes(ops []ingest.Op) []error {
+	a.keys = a.keys[:0]
+	for _, op := range ops {
+		a.keys = append(a.keys, EdgeKey{U: op.U, V: op.V})
+	}
+	return a.f.DeleteEdges(a.keys)
+}
 
 // PRAM returns the simulated EREW machine when Options.Parallel was set
 // (depth = Time, work = Work), or nil.
