@@ -5,13 +5,21 @@
 // every operation that forests agree and the core structure's invariants
 // hold. Exit status 0 means no disagreement was found.
 //
+// With -build FILE the tool instead cross-validates the parallel bulk
+// constructor on an edge-list file ("u v w" per line, # comments): Build
+// across every configuration against an incremental InsertEdges replay and
+// the Kruskal baseline, edge for edge, plus cut-property spot checks
+// (deleting a forest edge never finds a lighter replacement).
+//
 // Usage:
 //
 //	msfcheck -n 64 -steps 5000 -seed 1
 //	msfcheck -quick             # small smoke run
+//	msfcheck -build edges.txt   # bulk-constructor cross-validation
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -29,7 +37,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "small smoke run (n=16, steps=500)")
 	deep := flag.Int("deep", 97, "run the full O(n^2) core invariant check every `deep` ops on the raw core engine")
+	build := flag.String("build", "", "cross-validate parmsf.Build on this edge-list file instead of running the churn stress")
 	flag.Parse()
+	if *build != "" {
+		checkBuild(*build)
+		return
+	}
 	if *quick {
 		*n, *steps = 16, 500
 	}
@@ -122,4 +135,193 @@ func main() {
 	fmt.Printf("msfcheck: OK — %d ops on n=%d in %v (final m=%d, forest=%d, PRAM depth=%d work=%d)\n",
 		*steps, *n, time.Since(start).Round(time.Millisecond),
 		len(live), ref.ForestSize(), m.Time, m.Work)
+}
+
+// parseEdgeList reads an edge-list file: one "u v w" triple per line,
+// blank lines and #-comments skipped. The vertex count is the largest
+// endpoint plus one.
+func parseEdgeList(path string) (int, []parmsf.Edge) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msfcheck: %v\n", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	var edges []parmsf.Edge
+	maxV := 1
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := len(text); i > 0 && text[0] == '#' {
+			continue
+		}
+		var u, v int
+		var w int64
+		k, err := fmt.Sscan(text, &u, &v, &w)
+		if k == 0 {
+			continue // blank line
+		}
+		if err != nil || k != 3 {
+			fmt.Fprintf(os.Stderr, "msfcheck: %s:%d: want \"u v w\", got %q\n", path, line, text)
+			os.Exit(2)
+		}
+		edges = append(edges, parmsf.Edge{U: u, V: v, W: w})
+		if u > maxV {
+			maxV = u
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "msfcheck: %v\n", err)
+		os.Exit(2)
+	}
+	return maxV + 1, edges
+}
+
+// buildTriples returns the sorted (u, v, w) forest edges of f.
+func buildTriples(f *parmsf.Forest) [][3]int64 {
+	var out [][3]int64
+	f.Edges(func(u, v int, w int64) bool {
+		if u > v {
+			u, v = v, u
+		}
+		out = append(out, [3]int64{int64(u), int64(v), w})
+		return true
+	})
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less3(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func less3(a, b [3]int64) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	if a[1] != b[1] {
+		return a[1] < b[1]
+	}
+	return a[2] < b[2]
+}
+
+// checkBuild cross-validates the bulk constructor on an edge-list file:
+// Build across every pipeline configuration against an incremental replay
+// (per-edge Insert, which also yields the reference per-edge errors) and
+// the Kruskal baseline, then cut-property spot checks on the built forest.
+func checkBuild(path string) {
+	start := time.Now()
+	n, edges := parseEdgeList(path)
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "msfcheck: FAIL: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	maxEdges := 4 * n
+	if len(edges)+8 > maxEdges {
+		maxEdges = len(edges) + 8
+	}
+	ref := parmsf.New(n, parmsf.Options{MaxEdges: maxEdges})
+	defer ref.Close()
+	kr := baseline.NewKruskal(n)
+	refErrs := make([]error, len(edges))
+	for i, e := range edges {
+		refErrs[i] = ref.Insert(e.U, e.V, e.W)
+		if refErrs[i] == nil {
+			if err := kr.InsertEdge(e.U, e.V, e.W); err != nil {
+				fail("baseline rejects edge %d (%d,%d,%d): %v", i, e.U, e.V, e.W, err)
+			}
+		}
+	}
+	if ref.Weight() != kr.Weight() || ref.Size() != kr.ForestSize() {
+		fail("replay (w=%d,s=%d) vs kruskal (w=%d,s=%d)", ref.Weight(), ref.Size(), kr.Weight(), kr.ForestSize())
+	}
+	want := buildTriples(ref)
+
+	configs := []struct {
+		name string
+		opt  parmsf.Options
+	}{
+		{"seq", parmsf.Options{MaxEdges: maxEdges}},
+		{"workers2", parmsf.Options{MaxEdges: maxEdges, Workers: 2}},
+		{"pram", parmsf.Options{MaxEdges: maxEdges, CheckEREW: true}},
+		{"sparsify", parmsf.Options{Sparsify: true}},
+	}
+	for _, cfg := range configs {
+		f, errs := parmsf.Build(n, edges, cfg.opt)
+		for i := range edges {
+			var got error
+			if errs != nil {
+				got = errs[i]
+			}
+			if got != refErrs[i] {
+				fail("%s: edge %d error %v, replay %v", cfg.name, i, got, refErrs[i])
+			}
+		}
+		if f.Weight() != ref.Weight() || f.Size() != ref.Size() || f.Components() != ref.Components() {
+			fail("%s: (w=%d,s=%d,c=%d) vs replay (w=%d,s=%d,c=%d)",
+				cfg.name, f.Weight(), f.Size(), f.Components(), ref.Weight(), ref.Size(), ref.Components())
+		}
+		got := buildTriples(f)
+		if len(got) != len(want) {
+			fail("%s: %d forest edges, replay has %d", cfg.name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				fail("%s: forest edge %d = %v, replay %v", cfg.name, i, got[i], want[i])
+			}
+		}
+		f.Close()
+	}
+
+	// Cut-property spot checks on a fresh default build: deleting a forest
+	// edge either splits its component (no replacement crosses the cut) or
+	// finds a replacement no lighter than the deleted edge, and reinsertion
+	// restores the forest weight exactly.
+	f, _ := parmsf.Build(n, edges, parmsf.Options{MaxEdges: maxEdges})
+	defer f.Close()
+	stride := len(want)/64 + 1
+	checks := 0
+	for i := 0; i < len(want); i += stride {
+		u, v, w := int(want[i][0]), int(want[i][1]), want[i][2]
+		w0, c0 := f.Weight(), f.Components()
+		if err := f.Delete(u, v); err != nil {
+			fail("cut check: delete (%d,%d): %v", u, v, err)
+		}
+		switch {
+		case f.Components() == c0+1:
+			if f.Weight() != w0-w {
+				fail("cut check: split after (%d,%d) but weight %d != %d", u, v, f.Weight(), w0-w)
+			}
+		case f.Components() == c0:
+			if f.Weight() < w0 {
+				fail("cut check: replacement for (%d,%d,%d) lighter than cut minimum (weight %d < %d)", u, v, w, f.Weight(), w0)
+			}
+		default:
+			fail("cut check: components %d -> %d after one delete", c0, f.Components())
+		}
+		if err := f.Insert(u, v, w); err != nil {
+			fail("cut check: reinsert (%d,%d): %v", u, v, err)
+		}
+		if f.Weight() != w0 || f.Components() != c0 {
+			fail("cut check: reinsert of (%d,%d,%d) did not restore (w=%d c=%d, want w=%d c=%d)",
+				u, v, w, f.Weight(), f.Components(), w0, c0)
+		}
+		checks++
+	}
+
+	rejected := 0
+	for _, err := range refErrs {
+		if err != nil {
+			rejected++
+		}
+	}
+	fmt.Printf("msfcheck: OK — bulk build of %d edges (%d rejected) on n=%d matches replay+kruskal across %d configs, %d cut checks, in %v\n",
+		len(edges), rejected, n, len(configs), checks, time.Since(start).Round(time.Millisecond))
 }

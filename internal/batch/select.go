@@ -1,0 +1,68 @@
+package batch
+
+// Less reports whether x orders before y under the batch kernels' total
+// order (Key, A, B, Idx) — exported for the filter-Kruskal partition
+// kernel, which splits a batch around a Select pivot.
+func Less(x, y Item) bool { return itemLess(x, y) }
+
+// Select returns the k-th smallest (0-based) item under the (Key, A, B,
+// Idx) order without fully sorting: a host-side quickselect with
+// median-of-three pivoting over a scratch copy of items, so the input
+// order is preserved for the caller's partition kernel. The result is a
+// pure function of the item multiset — independent of input order, worker
+// count and schedule — which keeps the filter-Kruskal rounds built on it
+// deterministic. The (possibly regrown) scratch is returned for pooling.
+func Select(items []Item, k int, scratch []Item) (Item, []Item) {
+	n := len(items)
+	if k < 0 || k >= n {
+		panic("batch: Select index out of range")
+	}
+	if cap(scratch) < n {
+		scratch = make([]Item, n)
+	}
+	s := scratch[:n]
+	copy(s, items)
+	lo, hi := 0, n-1
+	for lo < hi {
+		p := partition(s, lo, hi)
+		switch {
+		case k < p:
+			hi = p - 1
+		case k > p:
+			lo = p + 1
+		default:
+			return s[k], scratch
+		}
+	}
+	return s[k], scratch
+}
+
+// partition performs one Hoare-style split of s[lo:hi+1] around a
+// median-of-three pivot, returning the pivot's final index.
+func partition(s []Item, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if itemLess(s[mid], s[lo]) {
+		s[mid], s[lo] = s[lo], s[mid]
+	}
+	if itemLess(s[hi], s[lo]) {
+		s[hi], s[lo] = s[lo], s[hi]
+	}
+	if itemLess(s[hi], s[mid]) {
+		s[hi], s[mid] = s[mid], s[hi]
+	}
+	// Median at mid; park it just before hi and partition the interior.
+	s[mid], s[hi-1] = s[hi-1], s[mid]
+	if hi-lo < 3 {
+		return lo + 1 // three or fewer elements: the swaps above sorted them
+	}
+	pv := s[hi-1]
+	i := lo
+	for j := lo; j < hi-1; j++ {
+		if itemLess(s[j], pv) {
+			s[i], s[j] = s[j], s[i]
+			i++
+		}
+	}
+	s[i], s[hi-1] = s[hi-1], s[i]
+	return i
+}

@@ -442,13 +442,14 @@ type PipelinePoint struct {
 	Speedup      float64 `json:"speedup"`
 }
 
-// BatchReport is the machine-readable record of the E12-E16 batch
+// BatchReport is the machine-readable record of the E12-E17 batch
 // measurements (BENCH_batch.json): per-worker wall times and speedups of
 // the sort kernel, the end-to-end public batch insert, the core pipeline
 // on independent non-tree updates, the sparsified mixed-update scenario
 // (per-edge vs batched through the Section 5 tree), the scheduler
-// comparison (level barrier vs dependency pipeline), and the concurrent
-// serving plane (snapshot readers vs ingest writers).
+// comparison (level barrier vs dependency pipeline), the concurrent
+// serving plane (snapshot readers vs ingest writers, per-op and batched
+// submission), and the bulk-constructor cold-start comparison.
 type BatchReport struct {
 	Generated  string           `json:"generated"`
 	GOMAXPROCS int              `json:"gomaxprocs"`
@@ -465,9 +466,10 @@ type BatchReport struct {
 	Sparsify   []SparsifyPoint  `json:"sparsify_batch"`
 	Pipeline   []PipelinePoint  `json:"sparsify_pipeline"`
 	ReadWrite  []ReadWritePoint `json:"read_write"`
+	Bulk       []BulkPoint      `json:"bulk_build"`
 }
 
-// BuildBatchReport runs the E12-E15 measurements and assembles the report.
+// BuildBatchReport runs the E12-E17 measurements and assembles the report.
 func BuildBatchReport(sc Scale) BatchReport {
 	sz := batchSizesFor(sc)
 	gmp := runtime.GOMAXPROCS(0)
@@ -506,6 +508,7 @@ func BuildBatchReport(sc Scale) BatchReport {
 		rep.Pipeline = append(rep.Pipeline, PipelinePoint{workers, gmp, sb.Min, sb.Med, sp.Min, sp.Med, sb.Min / sp.Min})
 	}
 	rep.ReadWrite = buildReadWritePoints(sc)
+	rep.Bulk = buildBulkPoints(sc)
 	return rep
 }
 

@@ -35,9 +35,12 @@ type rwSample struct {
 // (two point queries and one aggregate per acquisition) from before the
 // first write to after the last, writers submit their disjoint streams
 // through the ingest queue, and the run is timed from first submission to
-// Flush. The workload is conflict-free (disjoint vertex intervals), so
-// any error observed on a future is a correctness failure and panics.
-func runReadWrite(n, workers, readers int, streams []workload.Stream) rwSample {
+// Flush. With submitChunk == 0 writers call Submit per op; otherwise they
+// group submitChunk consecutive ops into one SubmitBatch call, which lands
+// the whole group in one queue slot and hands the drainer pre-batched runs
+// to coalesce. The workload is conflict-free (disjoint vertex intervals),
+// so any error observed on a future is a correctness failure and panics.
+func runReadWrite(n, workers, readers, submitChunk int, streams []workload.Stream) rwSample {
 	f := parmsf.New(n, parmsf.Options{
 		Workers:  workers,
 		MaxEdges: 4 * n,
@@ -88,11 +91,34 @@ func runReadWrite(n, workers, readers int, streams []workload.Stream) rwSample {
 		go func(st workload.Stream) {
 			defer wg.Done()
 			var last *parmsf.Pending
-			for _, op := range st.Ops {
-				if op.Kind == workload.OpInsert {
-					last = f.Submit(parmsf.Update{U: op.U, V: op.V, W: op.W})
-				} else {
-					last = f.Submit(parmsf.Update{Delete: true, U: op.U, V: op.V})
+			if submitChunk > 0 {
+				chunk := make([]parmsf.Update, 0, submitChunk)
+				flushChunk := func() {
+					if len(chunk) == 0 {
+						return
+					}
+					ps := f.SubmitBatch(chunk)
+					last = ps[len(ps)-1]
+					chunk = chunk[:0]
+				}
+				for _, op := range st.Ops {
+					if op.Kind == workload.OpInsert {
+						chunk = append(chunk, parmsf.Update{U: op.U, V: op.V, W: op.W})
+					} else {
+						chunk = append(chunk, parmsf.Update{Delete: true, U: op.U, V: op.V})
+					}
+					if len(chunk) == submitChunk {
+						flushChunk()
+					}
+				}
+				flushChunk()
+			} else {
+				for _, op := range st.Ops {
+					if op.Kind == workload.OpInsert {
+						last = f.Submit(parmsf.Update{U: op.U, V: op.V, W: op.W})
+					} else {
+						last = f.Submit(parmsf.Update{Delete: true, U: op.U, V: op.V})
+					}
 				}
 			}
 			// FIFO: the last future resolving means the whole stream
@@ -136,14 +162,14 @@ func runReadWrite(n, workers, readers int, streams []workload.Stream) rwSample {
 // the best (throughput maxima / latency minimum) and the median — the
 // rate-shaped analogue of the min+median convention the timed sections
 // use.
-func measureReadWrite(n, workers, readers int, streams []workload.Stream) (best, med rwSample) {
+func measureReadWrite(n, workers, readers, submitChunk int, streams []workload.Stream) (best, med rwSample) {
 	r := Repeat
 	if r < 1 {
 		r = 1
 	}
 	runs := make([]rwSample, r)
 	for i := range runs {
-		runs[i] = runReadWrite(n, workers, readers, streams)
+		runs[i] = runReadWrite(n, workers, readers, submitChunk, streams)
 	}
 	pick := func(get func(rwSample) float64, better func(a, b float64) bool) (float64, float64) {
 		vals := make([]float64, r)
@@ -169,11 +195,14 @@ func measureReadWrite(n, workers, readers int, streams []workload.Stream) (best,
 	return best, med
 }
 
-// rwConfig is the E16 sweep: reader counts against a fixed writer pool.
+// rwConfig is the E16 sweep: reader counts against a fixed writer pool,
+// each run once with per-op Submit and once with writers grouping ops into
+// SubmitBatch calls of rwSubmitChunk.
 var rwReaders = []int{1, 2, 4, 8}
 
 const rwWriters = 2
 const rwEngineWorkers = 2
+const rwSubmitChunk = 64
 
 // E16ReadWrite — concurrent query plane: snapshot-read throughput against
 // ingest-write cadence while q writers stream conflict-free churn through
@@ -181,8 +210,16 @@ const rwEngineWorkers = 2
 // throughput should hold (and scale with spare cores) as readers are
 // added, while write cadence is governed by batch coalescing — the
 // ops/batch column is the amortization factor the queue wins over
-// synchronous per-op calls. Attainable parallel overlap is capped by
-// GOMAXPROCS; on a single-core host readers and the drainer time-slice.
+// synchronous per-op calls. Each reader count runs twice: writers
+// submitting per op, and writers grouping ops into SubmitBatch calls. On
+// single-kind streams a submitted group lands as one engine batch; the
+// churn streams here flip between insert and delete every ~2 ops, and the
+// drainer splits engine batches at kind flips, so ops/batch is governed by
+// the stream's same-kind run lengths in both modes — batched submission
+// buys the cheaper submission path (one channel slot per group), visible
+// as write throughput rather than a larger coalescing factor. Attainable
+// parallel overlap is capped by GOMAXPROCS; on a single-core host readers
+// and the drainer time-slice.
 func E16ReadWrite(w io.Writer, sc Scale) {
 	sz := batchSizesFor(sc)
 	n := sz.readwriteN
@@ -190,24 +227,32 @@ func E16ReadWrite(w io.Writer, sc Scale) {
 	tb := stats.NewTable(
 		fmt.Sprintf("E16 — serving plane: %d readers vs %d ingest writers, n=%d, %d ops/writer (engine workers=%d, GOMAXPROCS=%d, repeat=%d)",
 			rwReaders[len(rwReaders)-1], rwWriters, n, n, rwEngineWorkers, runtime.GOMAXPROCS(0), Repeat),
-		"readers", "reads/s", "(med)", "write ops/s", "(med)", "ops/batch", "epochs")
+		"readers", "submit", "reads/s", "(med)", "write ops/s", "(med)", "ops/batch", "epochs")
 	for _, readers := range rwReaders {
-		best, med := measureReadWrite(n, rwEngineWorkers, readers, streams)
-		tb.Row(readers, best.readsPerSec, med.readsPerSec, best.opsPerSec, med.opsPerSec, best.opsPerBatch, best.epochs)
+		for _, chunk := range []int{0, rwSubmitChunk} {
+			best, med := measureReadWrite(n, rwEngineWorkers, readers, chunk, streams)
+			mode := "per-op"
+			if chunk > 0 {
+				mode = fmt.Sprintf("batch%d", chunk)
+			}
+			tb.Row(readers, mode, best.readsPerSec, med.readsPerSec, best.opsPerSec, med.opsPerSec, best.opsPerBatch, best.epochs)
+		}
 	}
 	tb.Fprint(w)
-	fmt.Fprintln(w, "theory: reads/s holds or grows with readers (lock-free snapshots; writers unaffected); ops/batch > 1 is the ingest queue's coalescing amortization; epochs <= batches (no-op batches publish nothing)")
+	fmt.Fprintln(w, "theory: reads/s holds or grows with readers (lock-free snapshots; writers unaffected); ops/batch > 1 is the ingest queue's coalescing amortization — engine batches split at kind flips, so on mixed churn it tracks the stream's same-kind run lengths in both submit modes and batch submission shows up as cheaper submission, not bigger batches; epochs <= batches (no-op batches publish nothing)")
 	fmt.Fprintln(w)
 }
 
 // ReadWritePoint is one reader-count measurement of the E16 serving
 // scenario for BENCH_batch.json: snapshot-query and write throughput
 // (best and median across -repeat runs), the coalescing factor, and the
-// epochs published. GOMAXPROCS records the host parallelism the entry ran
+// epochs published. SubmitChunk is the writers' SubmitBatch group size (0:
+// per-op Submit). GOMAXPROCS records the host parallelism the entry ran
 // under.
 type ReadWritePoint struct {
 	Readers        int     `json:"readers"`
 	Writers        int     `json:"writers"`
+	SubmitChunk    int     `json:"submit_chunk"`
 	GOMAXPROCS     int     `json:"gomaxprocs"`
 	ReadsPerSec    float64 `json:"reads_per_sec"`
 	ReadsPerSecMed float64 `json:"reads_per_sec_median"`
@@ -226,19 +271,22 @@ func buildReadWritePoints(sc Scale) []ReadWritePoint {
 	streams := workload.WriterStreams(n, rwWriters, n, uint64(n)+1607)
 	var out []ReadWritePoint
 	for _, readers := range rwReaders {
-		best, med := measureReadWrite(n, rwEngineWorkers, readers, streams)
-		out = append(out, ReadWritePoint{
-			Readers:        readers,
-			Writers:        rwWriters,
-			GOMAXPROCS:     gmp,
-			ReadsPerSec:    best.readsPerSec,
-			ReadsPerSecMed: med.readsPerSec,
-			WriteOpsPerSec: best.opsPerSec,
-			WriteOpsMed:    med.opsPerSec,
-			WriteNsPerOp:   best.nsPerOp,
-			OpsPerBatch:    best.opsPerBatch,
-			Epochs:         best.epochs,
-		})
+		for _, chunk := range []int{0, rwSubmitChunk} {
+			best, med := measureReadWrite(n, rwEngineWorkers, readers, chunk, streams)
+			out = append(out, ReadWritePoint{
+				Readers:        readers,
+				Writers:        rwWriters,
+				SubmitChunk:    chunk,
+				GOMAXPROCS:     gmp,
+				ReadsPerSec:    best.readsPerSec,
+				ReadsPerSecMed: med.readsPerSec,
+				WriteOpsPerSec: best.opsPerSec,
+				WriteOpsMed:    med.opsPerSec,
+				WriteNsPerOp:   best.nsPerOp,
+				OpsPerBatch:    best.opsPerBatch,
+				Epochs:         best.epochs,
+			})
+		}
 	}
 	return out
 }

@@ -77,11 +77,15 @@ type Stats struct {
 	Batches uint64 // engine batches those ops coalesced into
 }
 
-// item is one queue entry: an op with its future, or a flush marker.
+// item is one queue entry: an op with its future, a batch of ops with
+// their futures (futs non-nil), or a flush marker.
 type item struct {
 	op    Op
 	fut   *Future
 	flush chan struct{}
+
+	ops  []Op // batch submission (SubmitBatch); queue-owned until applied
+	futs []*Future
 }
 
 // Queue is the MPSC submission queue. Create with New, release with Close.
@@ -98,8 +102,9 @@ type Queue struct {
 	ops     atomic.Uint64
 	batches atomic.Uint64
 
-	scratch []Op // drainer-local batch assembly buffer
-	pending []item
+	scratch    []Op // drainer-local batch assembly buffers
+	futScratch []*Future
+	pending    []item
 }
 
 // New starts a queue feeding applier. depth is the submission channel's
@@ -114,12 +119,13 @@ func New(applier Applier, depth, maxBatch int) *Queue {
 		maxBatch = 512
 	}
 	q := &Queue{
-		ch:       make(chan item, depth),
-		maxBatch: maxBatch,
-		applier:  applier,
-		drained:  make(chan struct{}),
-		scratch:  make([]Op, 0, maxBatch),
-		pending:  make([]item, 0, maxBatch),
+		ch:         make(chan item, depth),
+		maxBatch:   maxBatch,
+		applier:    applier,
+		drained:    make(chan struct{}),
+		scratch:    make([]Op, 0, maxBatch),
+		futScratch: make([]*Future, 0, maxBatch),
+		pending:    make([]item, 0, maxBatch),
 	}
 	go q.drain()
 	return q
@@ -140,6 +146,38 @@ func (q *Queue) Submit(op Op) *Future {
 	q.ch <- item{op: op, fut: fut}
 	q.mu.RUnlock()
 	return fut
+}
+
+// SubmitBatch enqueues ops as one unit and returns one Future per op. The
+// batch occupies a single queue slot regardless of length, so backpressure
+// is per-submission, not per-op — a producer with a ready-made batch pays
+// one channel send where len(ops) Submits would pay len(ops). The ops
+// apply in slice order at the batch's FIFO queue position and coalesce
+// with neighboring submissions exactly as the equivalent Submit sequence
+// would (same-kind runs, capped at MaxBatch per engine batch). The queue
+// takes ownership of ops until every future resolves; the caller must not
+// modify the slice after SubmitBatch returns. Empty input returns nil.
+// After Close, every returned Future is already resolved with ErrClosed.
+func (q *Queue) SubmitBatch(ops []Op) []*Future {
+	if len(ops) == 0 {
+		return nil
+	}
+	futs := make([]*Future, len(ops))
+	for i := range futs {
+		futs[i] = &Future{done: make(chan struct{})}
+	}
+	q.mu.RLock()
+	if q.closed {
+		q.mu.RUnlock()
+		for _, f := range futs {
+			f.err = ErrClosed
+			close(f.done)
+		}
+		return futs
+	}
+	q.ch <- item{ops: ops, futs: futs}
+	q.mu.RUnlock()
+	return futs
 }
 
 // Flush blocks until every op submitted before the call has applied.
@@ -207,24 +245,57 @@ func (q *Queue) drain() {
 
 // apply coalesces the drained items into maximal same-kind runs, applies
 // each run as one engine batch in FIFO order, and resolves the futures.
-// Flush markers release at their queue position, i.e. after everything
-// submitted before them has applied.
+// The (i, j) cursor flattens batch items in place — j walks inside the
+// current batch item's ops — so unit and batch submissions coalesce
+// uniformly and a long batch splits across engine batches at the maxBatch
+// cap (or where its kind flips mid-slice). Flush markers release at their
+// queue position, i.e. after everything submitted before them has applied.
 func (q *Queue) apply(items []item) {
-	for i := 0; i < len(items); {
-		if items[i].flush != nil {
-			close(items[i].flush)
+	i, j := 0, 0
+	for i < len(items) {
+		if it := &items[i]; it.flush != nil {
+			close(it.flush)
 			i++
 			continue
+		} else if it.futs != nil && j >= len(it.ops) {
+			i, j = i+1, 0
+			continue
 		}
-		del := items[i].op.Delete
-		j := i
-		for j < len(items) && items[j].flush == nil && items[j].op.Delete == del {
-			j++
+		var del bool
+		if it := &items[i]; it.futs != nil {
+			del = it.ops[j].Delete
+		} else {
+			del = it.op.Delete
 		}
-		run := items[i:j]
 		ops := q.scratch[:0]
-		for _, r := range run {
-			ops = append(ops, r.op)
+		futs := q.futScratch[:0]
+	gather:
+		for i < len(items) && len(ops) < q.maxBatch {
+			cur := &items[i]
+			switch {
+			case cur.flush != nil:
+				break gather
+			case cur.futs != nil:
+				for j < len(cur.ops) && len(ops) < q.maxBatch {
+					if cur.ops[j].Delete != del {
+						break gather
+					}
+					ops = append(ops, cur.ops[j])
+					futs = append(futs, cur.futs[j])
+					j++
+				}
+				if j < len(cur.ops) {
+					break gather // maxBatch hit mid-batch; resume here next run
+				}
+				i, j = i+1, 0
+			default:
+				if cur.op.Delete != del {
+					break gather
+				}
+				ops = append(ops, cur.op)
+				futs = append(futs, cur.fut)
+				i++
+			}
 		}
 		var errs []error
 		if del {
@@ -235,14 +306,15 @@ func (q *Queue) apply(items []item) {
 		q.scratch = ops[:0]
 		// Count before resolving: anyone observing a future resolve (and
 		// therefore anyone a Flush released) sees Stats covering that op.
-		q.ops.Add(uint64(len(run)))
+		q.ops.Add(uint64(len(ops)))
 		q.batches.Add(1)
-		for k, r := range run {
+		for k, f := range futs {
 			if errs != nil {
-				r.fut.err = errs[k]
+				f.err = errs[k]
 			}
-			close(r.fut.done)
+			close(f.done)
 		}
-		i = j
+		clear(futs) // drop future pointers from the pooled buffer
+		q.futScratch = futs[:0]
 	}
 }

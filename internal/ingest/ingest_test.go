@@ -199,3 +199,128 @@ func TestConcurrentProducers(t *testing.T) {
 		}
 	}
 }
+
+// TestSubmitBatchOrderAndSplitting checks that a batch submission applies
+// in slice order at its queue position, splits where its kind flips, and
+// coalesces with neighboring unit submissions.
+func TestSubmitBatchOrderAndSplitting(t *testing.T) {
+	rec := &recorder{}
+	q := New(rec, 64, 16)
+	a := q.Submit(Op{U: 100, V: 101, W: 1})
+	futs := q.SubmitBatch([]Op{
+		{U: 0, V: 1, W: 10},
+		{U: 1, V: 2, W: 11},
+		{Delete: true, U: 0, V: 1},
+		{Delete: true, U: 1, V: 2},
+		{U: 2, V: 3, W: 12},
+	})
+	b := q.Submit(Op{U: 200, V: 201, W: 2})
+	if err := q.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range append(append([]*Future{a}, futs...), b) {
+		if err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	var seen []Op
+	for _, batch := range rec.batches {
+		kind := batch[0].Delete
+		for _, op := range batch {
+			if op.Delete != kind {
+				t.Fatal("mixed-kind batch")
+			}
+			seen = append(seen, op)
+		}
+	}
+	wantU := []int{100, 0, 1, 0, 1, 2, 200}
+	wantDel := []bool{false, false, false, true, true, false, false}
+	if len(seen) != len(wantU) {
+		t.Fatalf("applied %d ops, want %d", len(seen), len(wantU))
+	}
+	for i, op := range seen {
+		if op.U != wantU[i] || op.Delete != wantDel[i] {
+			t.Fatalf("op %d = %+v, want U=%d del=%v", i, op, wantU[i], wantDel[i])
+		}
+	}
+	if st := q.Stats(); st.Ops != 7 {
+		t.Fatalf("stats = %+v", st)
+	}
+	q.Close()
+}
+
+// TestSubmitBatchMaxBatchCap checks a long batch splits across engine
+// batches at the maxBatch cap and resumes mid-slice.
+func TestSubmitBatchMaxBatchCap(t *testing.T) {
+	rec := &recorder{}
+	q := New(rec, 64, 4)
+	ops := make([]Op, 10)
+	for i := range ops {
+		ops[i] = Op{U: i, V: i + 1, W: int64(i)}
+	}
+	futs := q.SubmitBatch(ops)
+	if err := q.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range futs {
+		if err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	total := 0
+	for _, b := range rec.batches {
+		if len(b) > 4 {
+			t.Fatalf("batch of %d exceeds maxBatch", len(b))
+		}
+		for _, op := range b {
+			if op.U != total {
+				t.Fatalf("op %d out of order: %+v", total, op)
+			}
+			total++
+		}
+	}
+	if total != 10 {
+		t.Fatalf("applied %d ops, want 10", total)
+	}
+	q.Close()
+}
+
+// TestSubmitBatchErrorsAndClose checks per-op error routing within a batch
+// and the closed-queue path.
+func TestSubmitBatchErrorsAndClose(t *testing.T) {
+	wantErr := errors.New("boom")
+	rec := &recorder{failOn: func(op Op) error {
+		if op.U == 1 {
+			return wantErr
+		}
+		return nil
+	}}
+	q := New(rec, 8, 8)
+	futs := q.SubmitBatch([]Op{{U: 0, V: 5, W: 1}, {U: 1, V: 5, W: 2}, {U: 2, V: 5, W: 3}})
+	if err := q.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if futs[0].Wait() != nil || futs[2].Wait() != nil {
+		t.Fatal("unexpected errors")
+	}
+	if futs[1].Wait() != wantErr {
+		t.Fatalf("got %v, want %v", futs[1].Wait(), wantErr)
+	}
+	if got := q.SubmitBatch(nil); got != nil {
+		t.Fatal("empty batch should return nil")
+	}
+	q.Close()
+	closed := q.SubmitBatch([]Op{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}})
+	if len(closed) != 2 {
+		t.Fatalf("want 2 resolved futures, got %d", len(closed))
+	}
+	for _, f := range closed {
+		if f.Wait() != ErrClosed {
+			t.Fatalf("closed queue future: %v", f.Wait())
+		}
+	}
+}

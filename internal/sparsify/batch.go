@@ -289,10 +289,29 @@ func (f *Forest) runLevel(level int, fr frontier) (next frontier, depth, work in
 	return next, depth, work
 }
 
+// BulkEngine is the optional static bulk-load view of a node engine (the
+// ternary wrapper over core.MSF): a whole initial edge set with per-edge
+// MSF-membership flags, loaded in one engine batch with no incremental
+// connectivity or path-max work.
+type BulkEngine interface {
+	BulkLoad(items []batch.Edge, tree []bool) []error
+}
+
 // applyNodeDelta applies one node's net delta — deletions first, then
 // insertions, both in first-touch order — through the node's batch engine.
 // It runs concurrently with its level siblings and touches only nd's state.
+// An insert-only delta into an empty node (every node of a fresh tree
+// during a bulk build, and any node recreated after its local graph
+// emptied) routes through the engine's static bulk loader when it has one:
+// the node classifies its local MSF with a Kruskal pass and the engine
+// skips the per-edge update machinery entirely.
 func (f *Forest) applyNodeDelta(nd *node, dels [][2]int, inss []batch.Edge) {
+	if len(dels) == 0 && nd.m == 0 && len(inss) > 0 {
+		if ble, ok := nd.eng.(BulkEngine); ok {
+			f.bulkLoadNode(nd, ble, inss)
+			return
+		}
+	}
 	if len(dels) > 0 {
 		ldels := make([][2]int, len(dels))
 		for i, k := range dels {
@@ -317,4 +336,65 @@ func (f *Forest) applyNodeDelta(nd *node, dels [][2]int, inss []batch.Edge) {
 		}
 		nd.m += len(inss)
 	}
+}
+
+// bulkLoadNode seeds an empty node's engine with its whole delta in one
+// static bulk load: localize the ids, classify the local MSF with a
+// Kruskal pass ordered by (weight, local endpoints), and hand the flagged
+// set to the engine's bulk loader. The tie-break matches the incremental
+// path exactly: local() is increasing on each of the node's intervals and
+// interval a precedes interval b, so the (w, lu, lv) order equals the
+// (w, u, v) order of the global canonical keys under which sorted per-edge
+// replay resolves equal-weight conflicts (first arrival wins, and sorted
+// arrival never swaps). Runs on a worker goroutine; touches only nd's
+// state plus the tree's atomic bulk counter.
+func (f *Forest) bulkLoadNode(nd *node, be BulkEngine, inss []batch.Edge) {
+	lins := make([]batch.Edge, len(inss))
+	for i, e := range inss {
+		lins[i] = batch.Edge{U: nd.local(e.U), V: nd.local(e.V), W: e.W}
+	}
+	order := make([]int, len(lins))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		x, y := lins[order[a]], lins[order[b]]
+		if x.W != y.W {
+			return x.W < y.W
+		}
+		if x.U != y.U {
+			return x.U < y.U
+		}
+		return x.V < y.V
+	})
+	localN := nd.span
+	if nd.key.a != nd.key.b {
+		localN = 2 * nd.span
+	}
+	parent := make([]int32, localN)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	tree := make([]bool, len(lins))
+	for _, i := range order {
+		ru, rv := find(int32(lins[i].U)), find(int32(lins[i].V))
+		if ru != rv {
+			parent[rv] = ru
+			tree[i] = true
+		}
+	}
+	for i, err := range be.BulkLoad(lins, tree) {
+		if err != nil {
+			panic(fmt.Sprintf("sparsify: local bulk load (%d,%d): %v", inss[i].U, inss[i].V, err))
+		}
+	}
+	nd.m += len(inss)
+	f.BulkNodeLoads.Add(1)
 }

@@ -17,6 +17,7 @@ package sparsify
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Engine is the per-node dynamic MSF interface (matched by core.MSF, the
@@ -127,6 +128,10 @@ type Forest struct {
 	// fallback" is PerEdgeNodeOps == 0).
 	BatchNodeOps   int64
 	PerEdgeNodeOps int64
+	// BulkNodeLoads counts node applications that went through the static
+	// bulk-load routing (insert-only delta into an empty node, engine with a
+	// bulk loader). Atomic: node applications run on worker goroutines.
+	BulkNodeLoads atomic.Int64
 	// Applied counts the updates the tree has fully applied — one per
 	// single-edge operation, one per batch entry point that staged at
 	// least one edge. OnApplied, when set, fires at the same points,

@@ -1,0 +1,75 @@
+package ternary
+
+import (
+	"fmt"
+
+	"parmsf/internal/core"
+)
+
+// bulkEngine is the optional static bulk-load interface of a wrapped engine
+// (core.MSF): insert-only ops with per-op MSF-membership flags, loaded by
+// direct construction of the final structure state.
+type bulkEngine interface {
+	BulkLoad(ops []core.BatchOp, tree []bool) []error
+}
+
+// BulkLoad seeds an empty wrapper with its whole initial edge set in one
+// engine batch. tree[i] must report whether items[i] belongs to the minimum
+// spanning forest of the item set (computed statically by the caller —
+// Build's filter-Kruskal at the top level, the per-node Kruskal of the
+// sparsification tree's bulk routing below it). The wrapper's slot rings
+// are staged in item order without intermediate surgeries and flagged tree
+// unconditionally — ring paths are cycle-free and lighter than every real
+// edge, so every ring belongs to the gadget MSF and the flags over the
+// staged gadget ops mark exactly the gadget graph's MSF.
+//
+// Returns one error slot per item (nil on success, else the error
+// InsertEdge would have returned); a failed item stages nothing. Engines
+// without the bulk interface fall back to per-edge insertion, which ignores
+// the flags (the engine then resolves each edge's role itself).
+func (w *Wrapper) BulkLoad(items []BatchEdge, tree []bool) []error {
+	if len(items) != len(tree) {
+		panic("ternary: BulkLoad items/tree length mismatch")
+	}
+	if len(w.edges) != 0 {
+		panic("ternary: BulkLoad requires an empty wrapper")
+	}
+	be, ok := w.eng.(bulkEngine)
+	if !ok {
+		errs := make([]error, len(items))
+		for i, it := range items {
+			errs[i] = w.InsertEdge(it.U, it.V, it.W)
+		}
+		return errs
+	}
+	errs := make([]error, len(items))
+	ops := w.opsScratch[:0]
+	flags := w.flagScratch[:0]
+	for i, it := range items {
+		rec, err := w.stageInsert(it.U, it.V, it.W, &ops)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		for len(flags) < len(ops) {
+			flags = append(flags, true) // staged ring edges are always tree
+		}
+		ops = append(ops, core.BatchOp{U: int(rec.su), V: int(rec.sv), W: it.W})
+		flags = append(flags, tree[i])
+	}
+	if len(ops) > 0 {
+		for _, err := range be.BulkLoad(ops, flags) {
+			if err != nil {
+				panic(fmt.Sprintf("ternary: gadget bulk load failed: %v", err))
+			}
+		}
+	}
+	applied := len(ops) > 0
+	w.opsScratch = ops[:0]
+	w.flagScratch = flags[:0]
+	w.assertRings()
+	if applied {
+		w.applied()
+	}
+	return errs
+}

@@ -82,11 +82,12 @@ type Wrapper struct {
 	// batch, and the staged compaction bookkeeping. Reused across batches
 	// (contents never retained), so warm batch entry points allocate only
 	// their returned error slices.
-	opsScratch []core.BatchOp
-	recScratch []*edgeRec
-	stage      compactStage
-	touchedVs  []int
-	touchedSet map[int]bool
+	opsScratch  []core.BatchOp
+	flagScratch []bool
+	recScratch  []*edgeRec
+	stage       compactStage
+	touchedVs   []int
+	touchedSet  map[int]bool
 }
 
 // New wraps a fresh degree-3 engine for n vertices and at most maxEdges

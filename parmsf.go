@@ -708,6 +708,34 @@ func (f *Forest) Submit(up Update) *Pending {
 	return q.Submit(ingest.Op{Delete: up.Delete, U: up.U, V: up.V, W: int64(up.W)})
 }
 
+// SubmitBatch enqueues ups as one unit on the ingest queue and returns one
+// Pending per update. The whole batch occupies a single queue slot, so a
+// producer with a ready-made batch pays one send (and one backpressure
+// check) instead of len(ups); the updates apply in slice order at the
+// batch's FIFO position and coalesce with neighboring submissions exactly
+// as the equivalent Submit sequence would, raising the drainer's
+// ops-per-engine-batch coalescing factor (see IngestStats). Empty input
+// returns nil; after Close every returned Pending resolves immediately
+// with ErrClosed.
+func (f *Forest) SubmitBatch(ups []Update) []*Pending {
+	if len(ups) == 0 {
+		return nil
+	}
+	ops := make([]ingest.Op, len(ups))
+	for i, up := range ups {
+		ops[i] = ingest.Op{Delete: up.Delete, U: up.U, V: up.V, W: int64(up.W)}
+	}
+	q := f.queue()
+	if q == nil {
+		ps := make([]*Pending, len(ups))
+		for i := range ps {
+			ps[i] = ingest.NewFailed(ErrClosed)
+		}
+		return ps
+	}
+	return q.SubmitBatch(ops)
+}
+
 // Flush blocks until every update submitted before the call has applied
 // (and its epoch published). Returns ErrClosed after Close; a forest that
 // never submitted anything flushes trivially (without starting the
