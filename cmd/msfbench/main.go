@@ -12,6 +12,7 @@
 //	msfbench -exp E14,E15 -batchjson FILE   # sparsify batch tables + refreshed report
 //	msfbench -exp E16                       # concurrent serving plane (readers vs ingest writers)
 //	msfbench -exp E17                       # bulk constructor vs incremental cold-start load
+//	msfbench -exp E18                       # incremental snapshot publication (delta vs sweep)
 package main
 
 import (
@@ -25,9 +26,9 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E17), 'all', or 'none'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E18), 'all', or 'none'")
 	full := flag.Bool("full", false, "paper-scale sizes")
-	batchJSON := flag.String("batchjson", "", "write the E12-E16 batch measurements as JSON to this path (BENCH_batch.json)")
+	batchJSON := flag.String("batchjson", "", "write the E12-E18 batch measurements as JSON to this path (BENCH_batch.json)")
 	repeat := flag.Int("repeat", 3, "runs per timed section; tables and the batch report carry min + median")
 	flag.Parse()
 

@@ -11,11 +11,21 @@
 // the Kruskal baseline, edge for edge, plus cut-property spot checks
 // (deleting a forest edge never finds a lighter replacement).
 //
+// With -snapshot the tool instead cross-validates the O(delta) snapshot
+// publication path: a forest on the default capacity-driven delta schedule
+// and a forest with the delta path disabled (every epoch a from-scratch
+// rebase sweep) run the same recorded churn, and after every operation the
+// two published snapshots must agree on epoch, weight, forest size,
+// component count, live edge set and component partition (labels in
+// bijection), with weight and size also checked against the Kruskal
+// baseline. Run for the default and sparsified pipelines.
+//
 // Usage:
 //
 //	msfcheck -n 64 -steps 5000 -seed 1
 //	msfcheck -quick             # small smoke run
 //	msfcheck -build edges.txt   # bulk-constructor cross-validation
+//	msfcheck -snapshot          # delta-vs-sweep snapshot cross-validation
 package main
 
 import (
@@ -23,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"parmsf"
@@ -38,6 +49,7 @@ func main() {
 	quick := flag.Bool("quick", false, "small smoke run (n=16, steps=500)")
 	deep := flag.Int("deep", 97, "run the full O(n^2) core invariant check every `deep` ops on the raw core engine")
 	build := flag.String("build", "", "cross-validate parmsf.Build on this edge-list file instead of running the churn stress")
+	snapshotF := flag.Bool("snapshot", false, "cross-validate the O(delta) snapshot publication path against from-scratch sweeps instead of running the churn stress")
 	flag.Parse()
 	if *build != "" {
 		checkBuild(*build)
@@ -45,6 +57,10 @@ func main() {
 	}
 	if *quick {
 		*n, *steps = 16, 500
+	}
+	if *snapshotF {
+		checkSnapshot(*n, *steps, *seed)
+		return
 	}
 
 	start := time.Now()
@@ -324,4 +340,147 @@ func checkBuild(path string) {
 	}
 	fmt.Printf("msfcheck: OK — bulk build of %d edges (%d rejected) on n=%d matches replay+kruskal across %d configs, %d cut checks, in %v\n",
 		len(edges), rejected, n, len(configs), checks, time.Since(start).Round(time.Millisecond))
+}
+
+// snapEdges collects a snapshot's live edge set keyed by normalized
+// endpoints.
+func snapEdges(s *parmsf.Snapshot) map[[2]int]int64 {
+	out := map[[2]int]int64{}
+	s.Edges(func(u, v int, w int64) bool {
+		if u > v {
+			u, v = v, u
+		}
+		out[[2]int{u, v}] = w
+		return true
+	})
+	return out
+}
+
+// checkSnapshot cross-validates the O(delta) publication path: a
+// delta-scheduled forest and a forced-sweep forest (SnapshotRebaseEvery:
+// 1, every epoch rebuilt from scratch off the engine) run identical
+// recorded churn; after every operation their published snapshots must
+// agree on epoch, weight, size, components, the live edge set, and the
+// component partition up to label bijection (the delta path's labels are
+// persistent identities, the sweep's are dense — only the partition is
+// comparable). Weight and size are also checked against the Kruskal
+// baseline, so the pair cannot drift in lockstep.
+func checkSnapshot(n, steps int, seed uint64) {
+	start := time.Now()
+	rng := xrand.New(seed)
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "msfcheck: FAIL: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	type cfgPair struct {
+		name        string
+		delta, swee *parmsf.Forest
+	}
+	mk := func(name string, opt parmsf.Options) cfgPair {
+		sw := opt
+		sw.SnapshotRebaseEvery = 1
+		return cfgPair{name, parmsf.New(n, opt), parmsf.New(n, sw)}
+	}
+	pairs := []cfgPair{
+		mk("default", parmsf.Options{MaxEdges: 16 * n}),
+		mk("sparsify", parmsf.Options{Sparsify: true}),
+	}
+	ref := baseline.NewKruskal(n)
+
+	verify := func(step int, p cfgPair) {
+		a, b := p.delta.Snapshot(), p.swee.Snapshot()
+		defer a.Release()
+		defer b.Release()
+		if a.Epoch() != b.Epoch() {
+			fail("step %d: %s: delta epoch %d != sweep epoch %d", step, p.name, a.Epoch(), b.Epoch())
+		}
+		if a.Weight() != b.Weight() || a.Weight() != ref.Weight() {
+			fail("step %d: %s: weight delta=%d sweep=%d kruskal=%d", step, p.name, a.Weight(), b.Weight(), ref.Weight())
+		}
+		if a.Size() != b.Size() || a.Size() != ref.ForestSize() || a.Components() != b.Components() {
+			fail("step %d: %s: size/components delta=%d/%d sweep=%d/%d kruskal size=%d",
+				step, p.name, a.Size(), a.Components(), b.Size(), b.Components(), ref.ForestSize())
+		}
+		ea, eb := snapEdges(a), snapEdges(b)
+		if len(ea) != len(eb) {
+			fail("step %d: %s: delta lists %d edges, sweep %d", step, p.name, len(ea), len(eb))
+		}
+		for k, w := range ea {
+			if eb[k] != w {
+				fail("step %d: %s: edge (%d,%d) delta weight %d, sweep %d", step, p.name, k[0], k[1], w, eb[k])
+			}
+		}
+		ab, ba := map[int]int{}, map[int]int{}
+		for v := 0; v < n; v++ {
+			la, lb := a.ComponentOf(v), b.ComponentOf(v)
+			if x, ok := ab[la]; ok && x != lb {
+				fail("step %d: %s: vertex %d: delta label %d maps to sweep labels %d and %d", step, p.name, v, la, x, lb)
+			}
+			if x, ok := ba[lb]; ok && x != la {
+				fail("step %d: %s: vertex %d: sweep label %d maps to delta labels %d and %d", step, p.name, v, lb, x, la)
+			}
+			ab[la] = lb
+			ba[lb] = la
+		}
+	}
+
+	type pair struct{ u, v int }
+	var live []pair
+	nextW := int64(1)
+	for step := 0; step < steps; step++ {
+		if rng.Intn(5) < 3 || len(live) == 0 {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			refErr := ref.InsertEdge(u, v, nextW)
+			for _, p := range pairs {
+				if err := p.delta.Insert(u, v, nextW); (err == nil) != (refErr == nil) {
+					fail("step %d: %s delta insert (%d,%d): %v vs ref %v", step, p.name, u, v, err, refErr)
+				}
+				if err := p.swee.Insert(u, v, nextW); (err == nil) != (refErr == nil) {
+					fail("step %d: %s sweep insert (%d,%d): %v vs ref %v", step, p.name, u, v, err, refErr)
+				}
+			}
+			if refErr == nil {
+				live = append(live, pair{u, v})
+			}
+			nextW++
+		} else {
+			i := rng.Intn(len(live))
+			p := live[i]
+			ref.DeleteEdge(p.u, p.v)
+			for _, pr := range pairs {
+				if err := pr.delta.Delete(p.u, p.v); err != nil {
+					fail("step %d: %s delta delete (%d,%d): %v", step, pr.name, p.u, p.v, err)
+				}
+				if err := pr.swee.Delete(p.u, p.v); err != nil {
+					fail("step %d: %s sweep delete (%d,%d): %v", step, pr.name, p.u, p.v, err)
+				}
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		for _, p := range pairs {
+			verify(step, p)
+		}
+	}
+
+	var lines []string
+	for _, p := range pairs {
+		dst, sst := p.delta.PublishStats(), p.swee.PublishStats()
+		if dst.DeltaEpochs == 0 {
+			fail("%s: delta-scheduled forest never took the delta path; the comparison is vacuous", p.name)
+		}
+		if sst.DeltaEpochs != 0 {
+			fail("%s: sweep forest took %d delta epochs, want 0", p.name, sst.DeltaEpochs)
+		}
+		lines = append(lines, fmt.Sprintf("%s %d epochs (%d delta, %d rebases, %d patches)",
+			p.name, dst.Epochs, dst.DeltaEpochs, dst.Rebases, dst.PatchEntries))
+		p.delta.Close()
+		p.swee.Close()
+	}
+	fmt.Printf("msfcheck: OK — snapshot delta-vs-sweep parity over %d ops on n=%d: %s, in %v\n",
+		steps, n, strings.Join(lines, "; "), time.Since(start).Round(time.Millisecond))
 }

@@ -25,6 +25,13 @@ type MSF struct {
 	// tree (Section 5) uses these deltas to keep parent local graphs equal
 	// to the union of child forests.
 	Events func(u, v int, w Weight, added bool)
+
+	// CutSides, when non-nil, is invoked once per forest-edge removal,
+	// directly after the matching Events(added=false) and before any
+	// further event, with the vertex set of the smaller tree the cut left
+	// (see cutsides.go). The slice is pooled and only valid for the call.
+	CutSides func(side []int32)
+	cutBuf   []int32
 }
 
 // ErrNotFound reports a DeleteEdge of an absent edge.
@@ -171,6 +178,7 @@ func (m *MSF) deleteTreeEdge(u, v int) {
 	st.normalize(dirty)
 	st.normTourStatus(t1)
 	st.normTourStatus(t2)
+	m.emitCutSide(t1, t2)
 
 	if r := st.MWR(t1, t2); r != nil {
 		m.becomeTree(r)
@@ -213,6 +221,7 @@ func (m *MSF) removeFromForest(e *graph.Edge) {
 	st.normalize(dirty)
 	st.normTourStatus(t1)
 	st.normTourStatus(t2)
+	m.emitCutSide(t1, t2)
 }
 
 // growTables sizes the per-edge side tables to the graph's ID bound.
@@ -270,3 +279,7 @@ func (m *MSF) VerifyTours() error {
 // SetEvents installs the forest-change callback (Engine interface form of
 // the Events field).
 func (m *MSF) SetEvents(f func(u, v int, w Weight, added bool)) { m.Events = f }
+
+// SetCutSides installs the cut-side callback (interface form of the
+// CutSides field; see cutsides.go).
+func (m *MSF) SetCutSides(f func(side []int32)) { m.CutSides = f }

@@ -449,7 +449,9 @@ type PipelinePoint struct {
 // (per-edge vs batched through the Section 5 tree), the scheduler
 // comparison (level barrier vs dependency pipeline), the concurrent
 // serving plane (snapshot readers vs ingest writers, per-op and batched
-// submission), and the bulk-constructor cold-start comparison.
+// submission), the bulk-constructor cold-start comparison, and the
+// incremental snapshot publication scenario (delta path vs full sweep
+// across n).
 type BatchReport struct {
 	Generated  string           `json:"generated"`
 	GOMAXPROCS int              `json:"gomaxprocs"`
@@ -467,6 +469,7 @@ type BatchReport struct {
 	Pipeline   []PipelinePoint  `json:"sparsify_pipeline"`
 	ReadWrite  []ReadWritePoint `json:"read_write"`
 	Bulk       []BulkPoint      `json:"bulk_build"`
+	Publish    []PublishPoint   `json:"publish_delta"`
 }
 
 // BuildBatchReport runs the E12-E17 measurements and assembles the report.
@@ -509,6 +512,7 @@ func BuildBatchReport(sc Scale) BatchReport {
 	}
 	rep.ReadWrite = buildReadWritePoints(sc)
 	rep.Bulk = buildBulkPoints(sc)
+	rep.Publish = buildPublishPoints(sc)
 	return rep
 }
 

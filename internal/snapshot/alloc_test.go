@@ -38,3 +38,60 @@ func TestPublishAllocFree(t *testing.T) {
 		t.Fatalf("steady-state publish allocates %v objects per epoch, want 0", avg)
 	}
 }
+
+// TestPublishDeltaAllocFree pins the O(delta) path's allocation ceiling:
+// once the era is warm, a cut epoch plus a link epoch — again with an
+// Acquire/Release reader cycle riding along — allocates nothing. n is
+// large enough (log capacity n/8 = 2048) that the measured window fits
+// inside one era: every epoch must take the delta path, with zero rebases;
+// rebase epochs are exempt from the zero-alloc bound (they are the
+// Builder sweep, gated above) but must not occur here at all.
+func TestPublishDeltaAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; gate runs without -race")
+	}
+	const n = 16384
+	p := NewPublisher(n)
+	b := p.Begin(n)
+	comp := b.Comp(n)
+	for v := range comp {
+		comp[v] = int32(v)
+	}
+	comp[1] = 0
+	b.AppendEdge(0, 1, 5)
+	b.SetWeight(5)
+	p.Publish(b)
+	base := p.Stats()
+
+	// Ping-pong on one pair: each step cuts (0,1) — side {0}, one patch
+	// entry — then links it back, two delta epochs per step.
+	sides := []int32{0}
+	cut := []DeltaOp{{Del: true, U: 0, V: 1, W: 5, SideStart: 0, SideLen: 1}}
+	link := []DeltaOp{{U: 0, V: 1, W: 5, SideStart: -1, SideLen: -1}}
+	ok := true
+	step := func() {
+		ok = ok && p.TryPublishDelta(cut, sides)
+		ok = ok && p.TryPublishDelta(link, nil)
+		s := p.Acquire()
+		s.Release()
+	}
+	for i := 0; i < 128; i++ {
+		step()
+	}
+	if !ok {
+		t.Fatal("delta publish refused during warmup")
+	}
+	if avg := testing.AllocsPerRun(500, step); avg > 0 {
+		t.Fatalf("steady-state delta publish allocates %v objects per epoch pair, want 0", avg)
+	}
+	if !ok {
+		t.Fatal("delta publish refused during measurement")
+	}
+	st := p.Stats()
+	if st.Rebases != base.Rebases {
+		t.Fatalf("measured window rebased %d times, want 0", st.Rebases-base.Rebases)
+	}
+	if got := st.DeltaEpochs - base.DeltaEpochs; got < 2*628 {
+		t.Fatalf("delta epochs = %d, want >= %d", got, 2*628)
+	}
+}

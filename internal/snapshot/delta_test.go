@@ -1,0 +1,243 @@
+package snapshot
+
+import "testing"
+
+// publishLine publishes a rebase snapshot over n vertices whose first m
+// vertices form one path component (labels 0, edges (i, i+1) at weight 1)
+// and whose remaining vertices are singletons labeled by themselves.
+func publishLine(t *testing.T, p *Publisher, n, m int) *Snapshot {
+	t.Helper()
+	b := p.Begin(n)
+	comp := b.Comp(n)
+	for v := range comp {
+		if v < m {
+			comp[v] = 0
+		} else {
+			comp[v] = int32(v)
+		}
+	}
+	for i := 0; i+1 < m; i++ {
+		b.AppendEdge(i, i+1, 1)
+	}
+	b.SetWeight(int64(m - 1))
+	return p.Publish(b)
+}
+
+func snap(t *testing.T, p *Publisher) *Snapshot {
+	t.Helper()
+	s := p.Acquire()
+	if s == nil {
+		t.Fatal("Acquire returned nil")
+	}
+	return s
+}
+
+// TestDeltaLinkAndCut drives a link epoch and a cut epoch through
+// TryPublishDelta and checks every public query against the expected
+// forest — including on a snapshot held from before the delta epochs,
+// which must keep answering from its own epoch.
+func TestDeltaLinkAndCut(t *testing.T) {
+	const n = 8
+	p := NewPublisher(n)
+	publishLine(t, p, n, 2) // {0,1} connected, 2..7 singletons
+	s0 := snap(t, p)
+
+	if !p.TryPublishDelta([]DeltaOp{{U: 1, V: 2, W: 5}}, nil) {
+		t.Fatal("link delta refused")
+	}
+	s1 := snap(t, p)
+	if s1.Epoch() != s0.Epoch()+1 {
+		t.Fatalf("epoch = %d, want %d", s1.Epoch(), s0.Epoch()+1)
+	}
+	if w := s1.Weight(); w != 6 {
+		t.Fatalf("weight after link = %d, want 6", w)
+	}
+	if s1.Size() != 2 || s1.Components() != n-2 {
+		t.Fatalf("size=%d components=%d after link, want 2, %d", s1.Size(), s1.Components(), n-2)
+	}
+	if !s1.Connected(0, 2) || s1.Connected(0, 3) {
+		t.Fatal("connectivity wrong after link")
+	}
+
+	if !p.TryPublishDelta(
+		[]DeltaOp{{Del: true, U: 0, V: 1, W: 1, SideStart: 0, SideLen: 1}},
+		[]int32{0},
+	) {
+		t.Fatal("cut delta refused")
+	}
+	s2 := snap(t, p)
+	if w := s2.Weight(); w != 5 {
+		t.Fatalf("weight after cut = %d, want 5", w)
+	}
+	if s2.Size() != 1 || s2.Components() != n-1 {
+		t.Fatalf("size=%d components=%d after cut, want 1, %d", s2.Size(), s2.Components(), n-1)
+	}
+	if s2.Connected(0, 1) || !s2.Connected(1, 2) {
+		t.Fatal("connectivity wrong after cut")
+	}
+	edges := map[[2]int]int64{}
+	s2.Edges(func(u, v int, w int64) bool {
+		edges[[2]int{u, v}] = w
+		return true
+	})
+	if len(edges) != 1 || edges[[2]int{1, 2}] != 5 {
+		t.Fatalf("edges after cut = %v, want only (1,2,5)", edges)
+	}
+
+	// The held earlier snapshots answer from their own epochs.
+	if s0.Weight() != 1 || !s0.Connected(0, 1) || s0.Connected(1, 2) {
+		t.Fatal("held pre-delta snapshot mutated")
+	}
+	if s1.Weight() != 6 || !s1.Connected(0, 1) || !s1.Connected(0, 2) {
+		t.Fatal("held link-epoch snapshot mutated")
+	}
+	n1 := 0
+	s1.Edges(func(u, v int, w int64) bool { n1++; return true })
+	if n1 != 2 {
+		t.Fatalf("held link-epoch snapshot has %d edges, want 2", n1)
+	}
+	s0.Release()
+	s1.Release()
+	s2.Release()
+}
+
+// TestDeltaRefusals exercises every refusal branch: a delta that cannot be
+// expressed must return false without publishing, and a Builder rebase
+// must recover (into a different era) with the delta path usable again
+// afterwards.
+func TestDeltaRefusals(t *testing.T) {
+	const n = 64 // logCap = 16
+	p := NewPublisher(n)
+	publishLine(t, p, n, 4) // {0,1,2,3} one component
+	refuse := func(name string, ops []DeltaOp, sides []int32) {
+		t.Helper()
+		before := p.Stats().Epochs
+		if p.TryPublishDelta(ops, sides) {
+			t.Fatalf("%s: delta accepted, want refusal", name)
+		}
+		if p.Stats().Epochs != before {
+			t.Fatalf("%s: refusal published an epoch", name)
+		}
+	}
+	refuse("cut without side", []DeltaOp{{Del: true, U: 0, V: 1, W: 1}}, nil)
+	refuse("cut of absent edge", []DeltaOp{{Del: true, U: 5, V: 6, W: 1, SideStart: 0, SideLen: 1}}, []int32{5})
+	refuse("cut with wrong weight", []DeltaOp{{Del: true, U: 0, V: 1, W: 9, SideStart: 0, SideLen: 1}}, []int32{0})
+	refuse("link inside one component", []DeltaOp{{U: 0, V: 3, W: 9}}, nil)
+	refuse("link duplicating a live edge", []DeltaOp{{U: 0, V: 1, W: 9}}, nil)
+	refuse("link out of range", []DeltaOp{{U: 0, V: n, W: 9}}, nil)
+	side17 := make([]int32, 17)
+	ops17 := make([]DeltaOp, 17)
+	for i := range side17 {
+		// 17 single-vertex cuts overflow the 16-entry patch log; build them
+		// over a fresh longer line below.
+		side17[i] = int32(i)
+		ops17[i] = DeltaOp{Del: true, U: i, V: i + 1, W: 1, SideStart: int32(i), SideLen: 1}
+	}
+	publishLine(t, p, n, 20)
+	refuse("patch log overflow", ops17, side17)
+
+	// A refusal may leave partial era state behind; the sweep rebase and a
+	// fresh delta epoch must both work afterwards.
+	s := publishLine(t, p, n, 4)
+	if s.Weight() != 3 || s.Components() != n-3 {
+		t.Fatal("rebase after refusal is wrong")
+	}
+	if !p.TryPublishDelta([]DeltaOp{{U: 3, V: 4, W: 7}}, nil) {
+		t.Fatal("delta refused after recovery rebase")
+	}
+	s2 := snap(t, p)
+	if s2.Weight() != 10 || !s2.Connected(0, 4) {
+		t.Fatal("post-recovery delta epoch is wrong")
+	}
+	s2.Release()
+	st := p.Stats()
+	if st.DeltaEpochs == 0 || st.Rebases < 3 {
+		t.Fatalf("stats = %+v, want delta epochs and >= 3 rebases", st)
+	}
+}
+
+// TestSetRebaseEvery pins the forced-rebase knob: with SetRebaseEvery(k),
+// an era accepts exactly k-1 delta epochs before refusing, and k = 1
+// disables the delta path outright.
+func TestSetRebaseEvery(t *testing.T) {
+	const n = 64
+	p := NewPublisher(n)
+	p.SetRebaseEvery(3)
+	publishLine(t, p, n, 1)
+	link := func(u, v int) bool {
+		return p.TryPublishDelta([]DeltaOp{{U: u, V: v, W: 1}}, nil)
+	}
+	if !link(0, 1) || !link(1, 2) {
+		t.Fatal("deltas inside the rebase window refused")
+	}
+	if link(2, 3) {
+		t.Fatal("third delta since rebase accepted, want forced refusal")
+	}
+	publishLine(t, p, n, 1)
+	if !link(0, 1) {
+		t.Fatal("delta refused right after forced rebase")
+	}
+
+	p.SetRebaseEvery(1)
+	publishLine(t, p, n, 1)
+	if link(0, 1) {
+		t.Fatal("delta accepted with SetRebaseEvery(1)")
+	}
+
+	p.SetRebaseEvery(0)
+	publishLine(t, p, n, 1)
+	for i := 0; i < 40; i++ {
+		if !link(i, i+1) {
+			t.Fatalf("capacity-driven schedule refused link %d", i)
+		}
+	}
+}
+
+// TestDeltaLabelStability pins the label contract between rebases: a
+// vertex untouched by delta epochs keeps its ComponentOf value, a link
+// keeps the larger side's label, and a cut mints a fresh label for the
+// recorded side only.
+func TestDeltaLabelStability(t *testing.T) {
+	const n = 16
+	p := NewPublisher(n)
+	publishLine(t, p, n, 3) // {0,1,2} labeled 0; singletons labeled v
+	s0 := snap(t, p)
+	l9 := s0.ComponentOf(9)
+
+	if !p.TryPublishDelta([]DeltaOp{{U: 2, V: 4, W: 2}}, nil) {
+		t.Fatal("link refused")
+	}
+	s1 := snap(t, p)
+	if s1.ComponentOf(9) != l9 {
+		t.Fatal("untouched vertex relabeled by a link")
+	}
+	// {0,1,2} (size 3) absorbed {4}: the larger side's label wins.
+	if got := s1.ComponentOf(4); got != s0.ComponentOf(0) {
+		t.Fatalf("merged label = %d, want the larger side's %d", got, s0.ComponentOf(0))
+	}
+
+	if !p.TryPublishDelta(
+		[]DeltaOp{{Del: true, U: 0, V: 1, W: 1, SideStart: 0, SideLen: 1}},
+		[]int32{0},
+	) {
+		t.Fatal("cut refused")
+	}
+	s2 := snap(t, p)
+	if s2.ComponentOf(9) != l9 {
+		t.Fatal("untouched vertex relabeled by a cut")
+	}
+	// The surviving (larger) side keeps its label; the cut side's label is
+	// fresh — distinct from every label the previous snapshot shows.
+	if s2.ComponentOf(1) != s1.ComponentOf(1) {
+		t.Fatal("surviving side relabeled by a cut")
+	}
+	fresh := s2.ComponentOf(0)
+	for v := 0; v < n; v++ {
+		if s1.ComponentOf(v) == fresh {
+			t.Fatalf("cut-side label %d not fresh (vertex %d had it)", fresh, v)
+		}
+	}
+	s0.Release()
+	s1.Release()
+	s2.Release()
+}

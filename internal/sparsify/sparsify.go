@@ -149,6 +149,11 @@ type Forest struct {
 	// goroutine applying the root node's delta), always strictly before
 	// the batch entry point returns.
 	events func(u, v int, w int64, added bool)
+
+	// cutSides mirrors events for the root engine's cut-side reports (the
+	// smaller side of each real forest cut, original-id space); like
+	// events, it persists across root destruction and recreation.
+	cutSides func(side []int32)
 }
 
 // New builds an empty sparsification tree over n >= 2 vertices.
@@ -224,6 +229,9 @@ func (f *Forest) getOrCreateKey(k nodeKey) *node {
 		// external callback takes their place, in original-id space (root
 		// locals are original ids).
 		nd.eng.SetEvents(f.events)
+		if f.cutSides != nil {
+			installCutSides(nd.eng, f.cutSides)
+		}
 	} else {
 		nd.eng.SetEvents(func(lu, lv int, w int64, added bool) {
 			nd.pending = append(nd.pending, event{nd.global(lu), nd.global(lv), w, added})
@@ -390,6 +398,24 @@ func (f *Forest) SetEvents(fn func(u, v int, w int64, added bool)) {
 	f.events = fn
 	if r := f.root(); r != nil {
 		r.eng.SetEvents(fn)
+	}
+}
+
+// SetCutSides installs the root engine's cut-side callback (the smaller
+// side of each real forest cut, original vertex space), with the same
+// persistence and goroutine contract as SetEvents. No-op when the node
+// engines do not emit cut sides.
+func (f *Forest) SetCutSides(fn func(side []int32)) {
+	f.cutSides = fn
+	if r := f.root(); r != nil {
+		installCutSides(r.eng, fn)
+	}
+}
+
+// installCutSides forwards a cut-side callback to engines that support it.
+func installCutSides(e Engine, fn func(side []int32)) {
+	if cs, ok := e.(interface{ SetCutSides(f func(side []int32)) }); ok {
+		cs.SetCutSides(fn)
 	}
 }
 

@@ -65,7 +65,10 @@ type Wrapper struct {
 	nslots int           // total live slots across vertices (ring invariant)
 	byslot map[int32]int // gadget slot -> original vertex
 
-	events func(u, v int, w int64, added bool)
+	events      func(u, v int, w int64, added bool)
+	cutSides    func(side []int32)
+	lastDelReal bool    // last engine delete event was a real (non-ring) edge
+	sideScratch []int32 // pooled original-vertex side buffer
 
 	// Applied counts the engine updates this wrapper has fully applied —
 	// one per successful single-edge operation, one per batch entry point
@@ -113,6 +116,9 @@ func New(n, maxEdges int, mk func(gadgetN int) Engine) *Wrapper {
 		w.free = append(w.free, int32(id))
 	}
 	w.eng.SetEvents(w.forward)
+	if cs, ok := w.eng.(interface{ SetCutSides(f func(side []int32)) }); ok {
+		cs.SetCutSides(w.forwardSides)
+	}
 	return w
 }
 
@@ -133,13 +139,44 @@ func (w *Wrapper) Gadget() Engine { return w.eng }
 // SetEvents installs a forest-change callback in original-vertex space.
 func (w *Wrapper) SetEvents(f func(u, v int, w int64, added bool)) { w.events = f }
 
+// SetCutSides installs a cut-side callback in original-vertex space: for
+// every real (non-ring) forest-edge removal it receives the original
+// vertices of the smaller side the cut left, directly after the matching
+// events(added=false) call. The slice is pooled and only valid for the
+// call. No-op when the wrapped engine does not emit cut sides.
+func (w *Wrapper) SetCutSides(f func(side []int32)) { w.cutSides = f }
+
 // forward translates engine events to original-vertex space, dropping ring
-// edges.
+// edges. Whether the last delete event named a real edge is recorded
+// before the drop, so forwardSides can discard the cut sides of ring-edge
+// surgeries (whose tours re-link within the same engine operation — the
+// original-graph partition never observes them).
 func (w *Wrapper) forward(gu, gv int, wt int64, added bool) {
+	if !added {
+		w.lastDelReal = wt != RingWeight
+	}
 	if w.events == nil || wt == RingWeight {
 		return
 	}
 	w.events(w.byslot[int32(gu)], w.byslot[int32(gv)], wt, added)
+}
+
+// forwardSides translates the engine's cut side to original-vertex space:
+// every original vertex's slots are ring-connected, so all of them land on
+// one side of a real-edge cut, and keeping just the base slots (gadget id
+// == original id < n) projects the gadget side onto the original vertices.
+func (w *Wrapper) forwardSides(side []int32) {
+	if w.cutSides == nil || !w.lastDelReal {
+		return
+	}
+	out := w.sideScratch[:0]
+	for _, g := range side {
+		if int(g) < w.n {
+			out = append(out, g)
+		}
+	}
+	w.sideScratch = out
+	w.cutSides(out)
 }
 
 func key(u, v int) [2]int {

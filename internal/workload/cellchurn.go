@@ -1,0 +1,92 @@
+package workload
+
+import "parmsf/internal/xrand"
+
+// This file generates the motivating regime of the incremental snapshot
+// publisher (E18): a large vertex set under a stream of tiny update
+// batches, where per-epoch publication cost — not engine work — is what
+// separates the O(delta) path from the O(n) sweep. The vertex space is
+// partitioned into fixed-size cells, each carrying its own spanning path;
+// churn deletes and re-inserts path edges within one cell per batch, so
+// every batch changes the forest (a path-edge deletion is always a tree
+// cut, its re-insertion a link) and every cut's smaller side is bounded by
+// the cell size — independent of n, which is exactly what keeps the delta
+// path's publication cost flat as n grows.
+
+// BatchStream is a bulk-loadable base edge set plus a sequence of small
+// update batches over vertices [0, N).
+type BatchStream struct {
+	N       int
+	Base    []Edge
+	Batches [][]Op
+}
+
+// SmallBatchChurn builds the large-n small-batch churn scenario: n
+// vertices in cells of the given size, each cell's base a spanning path
+// with unique weights, followed by the given number of update batches of
+// 1..maxBatch operations each. Every batch works inside one random cell,
+// alternating deletions of live path edges with re-insertions of
+// previously deleted ones at fresh (heavier, still unique) weights, so
+// each operation is a real forest mutation with its cut side bounded by
+// the cell. Deterministic in the seed.
+func SmallBatchChurn(n, cell, batches, maxBatch int, seed uint64) BatchStream {
+	if cell < 2 || cell > n {
+		panic("workload: SmallBatchChurn needs 2 <= cell <= n")
+	}
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	rng := xrand.New(seed)
+	cells := n / cell // trailing vertices past cells*cell stay isolated
+	bs := BatchStream{N: n}
+
+	// Per-cell path edge state: position i of cell c is the edge
+	// (c*cell+i, c*cell+i+1). live tracks presence; gone lists the deleted
+	// positions available for re-insertion.
+	type cellState struct {
+		live []bool
+		gone []int32
+	}
+	sts := make([]cellState, cells)
+	w := int64(1)
+	for c := 0; c < cells; c++ {
+		base := c * cell
+		sts[c].live = make([]bool, cell-1)
+		for i := 0; i < cell-1; i++ {
+			bs.Base = append(bs.Base, Edge{base + i, base + i + 1, w})
+			sts[c].live[i] = true
+			w++
+		}
+	}
+
+	for b := 0; b < batches; b++ {
+		c := rng.Intn(cells)
+		st := &sts[c]
+		base := c * cell
+		size := 1 + rng.Intn(maxBatch)
+		var ops []Op
+		for len(ops) < size {
+			if len(st.gone) == 0 || (rng.Bool() && len(st.gone) < cell-1) {
+				// Delete a random live path edge (a tree cut).
+				i := rng.Intn(cell - 1)
+				for !st.live[i] {
+					i = (i + 1) % (cell - 1)
+				}
+				st.live[i] = false
+				st.gone = append(st.gone, int32(i))
+				ops = append(ops, Op{OpDelete, base + i, base + i + 1, 0})
+			} else {
+				// Re-insert a deleted position at a fresh weight (a link).
+				j := rng.Intn(len(st.gone))
+				i := int(st.gone[j])
+				st.gone[j] = st.gone[len(st.gone)-1]
+				st.gone = st.gone[:len(st.gone)-1]
+				st.live[i] = true
+				ops = append(ops, Op{OpInsert, base + i, base + i + 1, w})
+				w++
+			}
+		}
+		bs.Batches = append(bs.Batches, ops)
+	}
+	return bs
+}

@@ -1,0 +1,93 @@
+package workload
+
+import "testing"
+
+// TestSmallBatchChurnInvariants checks the generator's contract: the base is
+// a union of per-cell spanning paths with unique weights, every batch has
+// 1..maxBatch operations confined to one cell, every delete targets a live
+// path edge, every insert revives a deleted position at a fresh weight, and
+// the whole construction is deterministic in the seed.
+func TestSmallBatchChurnInvariants(t *testing.T) {
+	const (
+		n        = 1000
+		cell     = 50
+		batches  = 400
+		maxBatch = 8
+	)
+	bs := SmallBatchChurn(n, cell, batches, maxBatch, 7)
+	if bs.N != n {
+		t.Fatalf("N = %d, want %d", bs.N, n)
+	}
+	cells := n / cell
+	if want := cells * (cell - 1); len(bs.Base) != want {
+		t.Fatalf("base edges = %d, want %d", len(bs.Base), want)
+	}
+	if len(bs.Batches) != batches {
+		t.Fatalf("batches = %d, want %d", len(bs.Batches), batches)
+	}
+
+	live := make(map[[2]int]bool)
+	weights := make(map[int64]bool)
+	maxW := int64(0)
+	for _, e := range bs.Base {
+		if e.V != e.U+1 || e.U/cell != e.V/cell {
+			t.Fatalf("base edge (%d,%d) is not an intra-cell path edge", e.U, e.V)
+		}
+		if weights[e.W] {
+			t.Fatalf("duplicate base weight %d", e.W)
+		}
+		weights[e.W] = true
+		if e.W > maxW {
+			maxW = e.W
+		}
+		live[[2]int{e.U, e.V}] = true
+	}
+
+	for bi, ops := range bs.Batches {
+		if len(ops) < 1 || len(ops) > maxBatch {
+			t.Fatalf("batch %d has %d ops", bi, len(ops))
+		}
+		c := ops[0].U / cell
+		for _, op := range ops {
+			if op.U/cell != c || op.V/cell != c || op.V != op.U+1 {
+				t.Fatalf("batch %d op (%d,%d) escapes cell %d", bi, op.U, op.V, c)
+			}
+			k := [2]int{op.U, op.V}
+			switch op.Kind {
+			case OpDelete:
+				if !live[k] {
+					t.Fatalf("batch %d deletes dead edge (%d,%d)", bi, op.U, op.V)
+				}
+				delete(live, k)
+			case OpInsert:
+				if live[k] {
+					t.Fatalf("batch %d re-inserts live edge (%d,%d)", bi, op.U, op.V)
+				}
+				if weights[op.W] {
+					t.Fatalf("batch %d reuses weight %d", bi, op.W)
+				}
+				if op.W <= maxW {
+					t.Fatalf("batch %d weight %d not fresh (max seen %d)", bi, op.W, maxW)
+				}
+				weights[op.W] = true
+				maxW = op.W
+				live[k] = true
+			}
+		}
+	}
+
+	again := SmallBatchChurn(n, cell, batches, maxBatch, 7)
+	if len(again.Base) != len(bs.Base) || len(again.Batches) != len(bs.Batches) {
+		t.Fatalf("generator not deterministic in shape")
+	}
+	for i := range bs.Batches {
+		if len(again.Batches[i]) != len(bs.Batches[i]) {
+			t.Fatalf("batch %d size differs across runs", i)
+		}
+		for j := range bs.Batches[i] {
+			if again.Batches[i][j] != bs.Batches[i][j] {
+				t.Fatalf("batch %d op %d differs across runs", i, j)
+			}
+		}
+	}
+}

@@ -48,6 +48,8 @@ package parmsf
 
 import (
 	"errors"
+	"os"
+	"strconv"
 	"sync"
 
 	"parmsf/internal/batch"
@@ -131,6 +133,15 @@ type Options struct {
 	// coalesce, bounding worst-case batch latency. 0 selects the default
 	// (512).
 	MaxBatch int
+	// SnapshotRebaseEvery forces a full-sweep snapshot rebase every k
+	// published epochs instead of the default capacity-driven schedule
+	// (the incremental delta path rebases only when an era's ~n/8 patch
+	// budget runs out, or when an update's forest delta cannot be
+	// expressed incrementally). 1 disables the delta path entirely; 0
+	// selects the default, unless the PARMSF_SNAPSHOT_REBASE environment
+	// variable overrides it (tests and experiments exercising the
+	// rebase/patch boundary).
+	SnapshotRebaseEvery int
 }
 
 // Forest is a dynamic minimum spanning forest over vertices 0..n-1.
@@ -149,6 +160,7 @@ type Forest struct {
 	mu    sync.Mutex // serializes mutators (engine + publication state)
 	pub   *snapshot.Publisher
 	dirty bool // forest changed since the last published epoch
+	dc    deltaCollector
 	ufPar []int32
 
 	qmu     sync.Mutex // guards lazy queue creation vs Close
@@ -252,36 +264,119 @@ func New(n int, opt Options) *Forest {
 	// ternary slot surgeries — at which point the engine is quiescent and
 	// a consistent snapshot can be built and swapped in.
 	f.pub = snapshot.NewPublisher(n)
+	if k := opt.SnapshotRebaseEvery; k > 0 {
+		f.pub.SetRebaseEvery(k)
+	} else if env := os.Getenv("PARMSF_SNAPSHOT_REBASE"); env != "" {
+		if k, err := strconv.Atoi(env); err == nil && k > 0 {
+			f.pub.SetRebaseEvery(k)
+		}
+	}
 	f.qopts = [2]int{opt.QueueDepth, opt.MaxBatch}
 	f.qa.f = f
 	switch e := f.eng.(type) {
 	case *sparsify.Forest:
 		e.SetEvents(f.noteDelta)
+		e.SetCutSides(f.noteCutSide)
 		e.OnApplied = f.publishIfDirty
 	case *ternary.Wrapper:
 		e.SetEvents(f.noteDelta)
+		e.SetCutSides(f.noteCutSide)
 		e.OnApplied = f.publishIfDirty
 	}
 	return f
 }
 
-// noteDelta records that the maintained forest changed (engine event
-// callback). During batch application it may fire on a worker goroutine,
-// always strictly before the batch entry point returns, which
-// happens-before the publication hook's read.
-func (f *Forest) noteDelta(int, int, int64, bool) { f.dirty = true }
+// deltaCollector accumulates one applied update's forest mutations in
+// engine event order, for the publisher's O(delta) path: links and cuts
+// from the events callback, each cut's smaller-side vertex set from the
+// cut-side callback. Collection caps keep pathological batches (bulk
+// loads, giant components churning) from buffering unboundedly — an
+// overflowed collection abandons the delta and the epoch publishes
+// through the full sweep instead.
+type deltaCollector struct {
+	ops      []snapshot.DeltaOp
+	sides    []int32
+	overflow bool
+}
+
+const (
+	maxDeltaOps   = 4096
+	maxDeltaSides = 8192
+)
+
+func (dc *deltaCollector) reset() {
+	dc.ops = dc.ops[:0]
+	dc.sides = dc.sides[:0]
+	dc.overflow = false
+}
+
+// noteDelta records one forest mutation (engine event callback). During
+// batch application it may fire on a worker goroutine, always strictly
+// before the batch entry point returns, which happens-before the
+// publication hook's read.
+func (f *Forest) noteDelta(u, v int, w int64, added bool) {
+	f.dirty = true
+	dc := &f.dc
+	if dc.overflow {
+		return
+	}
+	if len(dc.ops) >= maxDeltaOps {
+		dc.overflow = true
+		return
+	}
+	dc.ops = append(dc.ops, snapshot.DeltaOp{
+		Del: !added, U: u, V: v, W: w, SideStart: -1, SideLen: -1,
+	})
+}
+
+// noteCutSide records the smaller-side vertex set of the cut the engine
+// just reported (cut-side callback, same goroutine contract as noteDelta):
+// the side attaches to the latest recorded deletion. A deletion whose side
+// never arrives — or arrives past the collection cap — keeps SideLen -1,
+// which the publisher refuses, falling back to the sweep.
+func (f *Forest) noteCutSide(side []int32) {
+	dc := &f.dc
+	if dc.overflow || len(dc.ops) == 0 {
+		return
+	}
+	op := &dc.ops[len(dc.ops)-1]
+	if !op.Del || op.SideLen >= 0 {
+		return
+	}
+	if len(dc.sides)+len(side) > maxDeltaSides {
+		dc.overflow = true
+		return
+	}
+	op.SideStart = int32(len(dc.sides))
+	dc.sides = append(dc.sides, side...)
+	op.SideLen = int32(len(side))
+}
 
 // publishIfDirty is the engine's epoch hook: once per applied update, with
 // the mutator lock held by the caller chain. Updates that did not change
 // the forest (failed ops, pure non-tree churn cancellations) publish
-// nothing — the current snapshot is still exact.
+// nothing — the current snapshot is still exact. A changed forest
+// publishes through the O(delta) path when the collected mutations fit
+// the current era, and falls back to the full sweep (which is also the
+// rebase that restores delta capacity) when they do not.
 func (f *Forest) publishIfDirty() {
 	if !f.dirty {
+		f.dc.reset()
 		return
 	}
 	f.dirty = false
-	f.publish()
+	if f.dc.overflow || !f.pub.TryPublishDelta(f.dc.ops, f.dc.sides) {
+		f.publish()
+	}
+	f.dc.reset()
 }
+
+// PublishStats reports the snapshot publisher's cumulative counters:
+// epochs published, how many went through the O(delta) path versus a full
+// rebase sweep, the label-patch entries written, and the wall time spent
+// inside publication. Mutator side only (not synchronized with concurrent
+// updates).
+func (f *Forest) PublishStats() snapshot.Stats { return f.pub.Stats() }
 
 // publish builds the next snapshot from the engine on pooled buffers and
 // swaps it in with one atomic pointer store. O(n + forest size); amortized
