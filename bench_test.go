@@ -403,7 +403,7 @@ func BenchmarkE13BatchUpdates(b *testing.B) {
 		b.Run(fmt.Sprintf("build/workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				f := New(n, Options{MaxEdges: 4 * n, Workers: w})
+				f := MustNew(n, Options{MaxEdges: 4 * n, Workers: w})
 				b.StartTimer()
 				if errs := f.InsertEdges(edges); errs != nil {
 					b.Fatalf("batch errors: %v", errs)

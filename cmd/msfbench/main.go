@@ -26,9 +26,9 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E18), 'all', or 'none'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E19), 'all', or 'none'")
 	full := flag.Bool("full", false, "paper-scale sizes")
-	batchJSON := flag.String("batchjson", "", "write the E12-E18 batch measurements as JSON to this path (BENCH_batch.json)")
+	batchJSON := flag.String("batchjson", "", "write the E12-E19 batch measurements as JSON to this path (BENCH_batch.json)")
 	repeat := flag.Int("repeat", 3, "runs per timed section; tables and the batch report carry min + median")
 	flag.Parse()
 

@@ -20,12 +20,21 @@
 // bijection), with weight and size also checked against the Kruskal
 // baseline. Run for the default and sparsified pipelines.
 //
+// With -crash the tool instead cross-validates panic containment and
+// journaled recovery: a forest under batch churn takes injected engine
+// panics at every registered crash point in rotation (flat and sparsified
+// pipelines), and after each poisoning the tool verifies typed errors,
+// fail-fast mutators, a consistent still-served snapshot, and a Recover
+// that restores exact agreement with a Kruskal baseline that never saw
+// the failed batch.
+//
 // Usage:
 //
 //	msfcheck -n 64 -steps 5000 -seed 1
 //	msfcheck -quick             # small smoke run
 //	msfcheck -build edges.txt   # bulk-constructor cross-validation
 //	msfcheck -snapshot          # delta-vs-sweep snapshot cross-validation
+//	msfcheck -crash             # fault-injection + recovery cross-validation
 package main
 
 import (
@@ -50,6 +59,7 @@ func main() {
 	deep := flag.Int("deep", 97, "run the full O(n^2) core invariant check every `deep` ops on the raw core engine")
 	build := flag.String("build", "", "cross-validate parmsf.Build on this edge-list file instead of running the churn stress")
 	snapshotF := flag.Bool("snapshot", false, "cross-validate the O(delta) snapshot publication path against from-scratch sweeps instead of running the churn stress")
+	crash := flag.Bool("crash", false, "cross-validate panic containment and journaled recovery: inject engine panics at every registered crash point in rotation and verify each Recover against the Kruskal baseline")
 	flag.Parse()
 	if *build != "" {
 		checkBuild(*build)
@@ -62,14 +72,18 @@ func main() {
 		checkSnapshot(*n, *steps, *seed)
 		return
 	}
+	if *crash {
+		checkCrash(*n, *steps, *seed)
+		return
+	}
 
 	start := time.Now()
 	rng := xrand.New(*seed)
 
 	forests := map[string]*parmsf.Forest{
-		"seq":      parmsf.New(*n, parmsf.Options{MaxEdges: 16 * *n}),
-		"pram":     parmsf.New(*n, parmsf.Options{MaxEdges: 16 * *n, CheckEREW: true}),
-		"sparsify": parmsf.New(*n, parmsf.Options{Sparsify: true}),
+		"seq":      parmsf.MustNew(*n, parmsf.Options{MaxEdges: 16 * *n}),
+		"pram":     parmsf.MustNew(*n, parmsf.Options{MaxEdges: 16 * *n, CheckEREW: true}),
+		"sparsify": parmsf.MustNew(*n, parmsf.Options{Sparsify: true}),
 	}
 	ref := baseline.NewKruskal(*n)
 	// A raw core engine on a degree-3 stream mirror for deep invariant
@@ -243,7 +257,7 @@ func checkBuild(path string) {
 	if len(edges)+8 > maxEdges {
 		maxEdges = len(edges) + 8
 	}
-	ref := parmsf.New(n, parmsf.Options{MaxEdges: maxEdges})
+	ref := parmsf.MustNew(n, parmsf.Options{MaxEdges: maxEdges})
 	defer ref.Close()
 	kr := baseline.NewKruskal(n)
 	refErrs := make([]error, len(edges))
@@ -270,7 +284,7 @@ func checkBuild(path string) {
 		{"sparsify", parmsf.Options{Sparsify: true}},
 	}
 	for _, cfg := range configs {
-		f, errs := parmsf.Build(n, edges, cfg.opt)
+		f, errs := parmsf.MustBuild(n, edges, cfg.opt)
 		for i := range edges {
 			var got error
 			if errs != nil {
@@ -300,7 +314,7 @@ func checkBuild(path string) {
 	// edge either splits its component (no replacement crosses the cut) or
 	// finds a replacement no lighter than the deleted edge, and reinsertion
 	// restores the forest weight exactly.
-	f, _ := parmsf.Build(n, edges, parmsf.Options{MaxEdges: maxEdges})
+	f, _ := parmsf.MustBuild(n, edges, parmsf.Options{MaxEdges: maxEdges})
 	defer f.Close()
 	stride := len(want)/64 + 1
 	checks := 0
@@ -380,7 +394,7 @@ func checkSnapshot(n, steps int, seed uint64) {
 	mk := func(name string, opt parmsf.Options) cfgPair {
 		sw := opt
 		sw.SnapshotRebaseEvery = 1
-		return cfgPair{name, parmsf.New(n, opt), parmsf.New(n, sw)}
+		return cfgPair{name, parmsf.MustNew(n, opt), parmsf.MustNew(n, sw)}
 	}
 	pairs := []cfgPair{
 		mk("default", parmsf.Options{MaxEdges: 16 * n}),

@@ -9,7 +9,7 @@ import (
 
 // ExampleNew demonstrates the basic maintain-query loop.
 func ExampleNew() {
-	f := parmsf.New(5, parmsf.Options{})
+	f := parmsf.MustNew(5, parmsf.Options{})
 	f.Insert(0, 1, 10)
 	f.Insert(1, 2, 20)
 	f.Insert(0, 2, 5) // closes a cycle; the heaviest cycle edge stays out
@@ -27,7 +27,7 @@ func ExampleNew() {
 // goroutine-parallel backend: the batch is validated and weight-sorted on
 // the worker pool, then applied deterministically.
 func ExampleForest_InsertEdges() {
-	f := parmsf.New(6, parmsf.Options{Workers: 4})
+	f := parmsf.MustNew(6, parmsf.Options{Workers: 4})
 	defer f.Close()
 	errs := f.InsertEdges([]parmsf.Edge{
 		{U: 0, V: 1, W: 9},
@@ -46,7 +46,7 @@ func ExampleForest_InsertEdges() {
 
 // ExampleForest_Edges shows forest enumeration.
 func ExampleForest_Edges() {
-	f := parmsf.New(4, parmsf.Options{})
+	f := parmsf.MustNew(4, parmsf.Options{})
 	f.Insert(0, 1, 3)
 	f.Insert(2, 3, 4)
 	var out []string
@@ -63,7 +63,7 @@ func ExampleForest_Edges() {
 // ExampleForest_PRAM runs the Section 3 parallel algorithm and reads the
 // EREW machine's counters.
 func ExampleForest_PRAM() {
-	f := parmsf.New(64, parmsf.Options{Parallel: true})
+	f := parmsf.MustNew(64, parmsf.Options{Parallel: true})
 	f.Insert(0, 1, 1)
 	m := f.PRAM()
 	fmt.Println("depth grew:", m.Time > 0)
@@ -75,7 +75,7 @@ func ExampleForest_PRAM() {
 
 // ExampleForest_Components tracks the component count under churn.
 func ExampleForest_Components() {
-	f := parmsf.New(6, parmsf.Options{})
+	f := parmsf.MustNew(6, parmsf.Options{})
 	fmt.Println(f.Components())
 	f.Insert(0, 1, 1)
 	f.Insert(2, 3, 1)

@@ -23,7 +23,10 @@ func dist2(a, b point) parmsf.Weight {
 func main() {
 	const maxPoints = 128
 	rng := xrand.New(7)
-	f := parmsf.New(maxPoints, parmsf.Options{MaxEdges: maxPoints * maxPoints / 2})
+	f, err := parmsf.New(maxPoints, parmsf.Options{MaxEdges: maxPoints * maxPoints / 2})
+	if err != nil {
+		panic(err)
+	}
 	pts := make(map[int]point)
 
 	addPoint := func(id int, p point) {

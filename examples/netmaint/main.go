@@ -19,7 +19,10 @@ func main() {
 
 	// Initial topology: a sparse random mesh with ring-like redundancy.
 	links := workload.RandomSparse(sites, 3*sites, 42)
-	f := parmsf.New(sites, parmsf.Options{MaxEdges: 8 * sites})
+	f, err := parmsf.New(sites, parmsf.Options{MaxEdges: 8 * sites})
+	if err != nil {
+		panic(err)
+	}
 	up := map[[2]int]parmsf.Weight{}
 	for _, l := range links {
 		if err := f.Insert(l.U, l.V, l.W); err != nil {

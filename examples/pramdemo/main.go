@@ -14,7 +14,10 @@ import (
 
 func main() {
 	for _, n := range []int{256, 1024, 4096} {
-		f := parmsf.New(n, parmsf.Options{Parallel: true, MaxEdges: 8 * n})
+		f, err := parmsf.New(n, parmsf.Options{Parallel: true, MaxEdges: 8 * n})
+		if err != nil {
+			panic(err)
+		}
 		m := f.PRAM()
 
 		base := workload.DegreeBounded(n, n, 3, uint64(n))

@@ -11,7 +11,10 @@ import (
 func main() {
 	// A forest over 6 vertices; the default pipeline is the paper's
 	// sequential Theorem 1.2 structure behind degree reduction.
-	f := parmsf.New(6, parmsf.Options{})
+	f, err := parmsf.New(6, parmsf.Options{})
+	if err != nil {
+		panic(err)
+	}
 
 	// Build a weighted graph incrementally. The forest is maintained after
 	// every call.

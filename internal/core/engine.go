@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"parmsf/internal/faultinject"
 	"parmsf/internal/graph"
 	"parmsf/internal/lct"
 	"parmsf/internal/seqtree"
@@ -32,6 +33,8 @@ type MSF struct {
 	// (see cutsides.go). The slice is pooled and only valid for the call.
 	CutSides func(side []int32)
 	cutBuf   []int32
+
+	fault *faultinject.Injector // crash points (Config.Fault; nil no-op)
 }
 
 // ErrNotFound reports a DeleteEdge of an absent edge.
@@ -41,7 +44,7 @@ var ErrNotFound = errors.New("core: edge not in graph")
 // bound 3.
 func NewMSF(n int, cfg Config, ch Charger) *MSF {
 	g := graph.New(n, 3)
-	return &MSF{st: NewStore(g, cfg, ch), lf: lct.New(n)}
+	return &MSF{st: NewStore(g, cfg, ch), lf: lct.New(n), fault: cfg.Fault}
 }
 
 // Store exposes the underlying structure (benchmarks and tests).

@@ -1,9 +1,15 @@
 package core
 
 import (
+	"parmsf/internal/faultinject"
 	"parmsf/internal/graph"
 	"parmsf/internal/workload"
 )
+
+// fpApplyBatch is the core engine's crash point: it fires inside
+// ApplyBatch, after the delete stages and before the insert stage, leaving
+// the structure mid-batch with its deferred CAdj aggregate unflushed.
+var fpApplyBatch = faultinject.Register("core/apply-batch")
 
 // This file implements the staged batch-application pipeline of the update
 // engine: classify -> shard -> apply. A batch of edge updates is first
@@ -148,6 +154,7 @@ func (m *MSF) ApplyBatch(ops []BatchOp) []error {
 		return errs
 	}
 	if len(ops) == 1 {
+		m.fault.Hit(fpApplyBatch)
 		errs[0] = m.applyOne(ops[0])
 		return errs
 	}
@@ -156,6 +163,10 @@ func (m *MSF) ApplyBatch(ops []BatchOp) []error {
 	for _, i := range p.TreeDel {
 		m.deleteTreeEdge(ops[i].U, ops[i].V)
 	}
+	// Crash point between the delete stages and the insert stage: the worst
+	// mid-batch state recovery must cope with (deletions applied, CAdj
+	// aggregate unflushed, insertions never reached).
+	m.fault.Hit(fpApplyBatch)
 	if len(p.Inserts) > 0 {
 		// Insert-side classification for the whole stage: one read-only
 		// kernel round of tour-root walks plus a host union-find replay

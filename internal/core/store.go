@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"parmsf/internal/faultinject"
 	"parmsf/internal/graph"
 	"parmsf/internal/seqtree"
 )
@@ -19,6 +20,9 @@ type Config struct {
 	// sum(n_c) <= 5n, so 6 (the default) leaves headroom for transient
 	// states.
 	JSlack int
+	// Fault is the deterministic crash-point injector threaded down from
+	// the composing forest (fault-injection testing). Nil is a no-op.
+	Fault *faultinject.Injector
 }
 
 func (cfg Config) withDefaults(n int, parallel bool) Config {

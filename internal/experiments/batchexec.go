@@ -108,7 +108,7 @@ func timeSortKernel(src, work []batch.Item, workers int) sample {
 // fresh empty forest (min/median over Repeat, nanoseconds per edge).
 func timeBatchInsert(n int, edges []parmsf.Edge, workers int) sample {
 	return measure(func() float64 {
-		f := parmsf.New(n, parmsf.Options{MaxEdges: 4 * n, Workers: workers})
+		f := parmsf.MustNew(n, parmsf.Options{MaxEdges: 4 * n, Workers: workers})
 		defer f.Close()
 		t0 := time.Now()
 		if errs := f.InsertEdges(edges); errs != nil {
@@ -167,7 +167,7 @@ func mkSparsifyScenario(n int) (edges []parmsf.Edge, del []parmsf.EdgeKey, ins [
 	}
 
 	// Classify tree vs non-tree on a scratch sequential forest.
-	f := parmsf.New(n, parmsf.Options{Sparsify: true})
+	f := parmsf.MustNew(n, parmsf.Options{Sparsify: true})
 	if errs := f.InsertEdges(edges); errs != nil {
 		panic("experiments: E14 scenario load failed")
 	}
@@ -209,7 +209,7 @@ func mkSparsifyScenario(n int) (edges []parmsf.Edge, del []parmsf.EdgeKey, ins [
 // nanoseconds per edge update). With batched=false the same updates run one
 // edge at a time through the per-edge sparsify path.
 func timeSparsify(n, workers int, edges []parmsf.Edge, del []parmsf.EdgeKey, ins []parmsf.Edge, batched bool) sample {
-	f := parmsf.New(n, parmsf.Options{Sparsify: true, Workers: workers})
+	f := parmsf.MustNew(n, parmsf.Options{Sparsify: true, Workers: workers})
 	defer f.Close()
 	if errs := f.InsertEdges(edges); errs != nil {
 		panic("experiments: E14 load failed")
@@ -449,9 +449,10 @@ type PipelinePoint struct {
 // (per-edge vs batched through the Section 5 tree), the scheduler
 // comparison (level barrier vs dependency pipeline), the concurrent
 // serving plane (snapshot readers vs ingest writers, per-op and batched
-// submission), the bulk-constructor cold-start comparison, and the
+// submission), the bulk-constructor cold-start comparison, the
 // incremental snapshot publication scenario (delta path vs full sweep
-// across n).
+// across n), and the crash-recovery scenario (journal rebuild time vs
+// live-edge count, read continuity across the outage).
 type BatchReport struct {
 	Generated  string           `json:"generated"`
 	GOMAXPROCS int              `json:"gomaxprocs"`
@@ -470,6 +471,7 @@ type BatchReport struct {
 	ReadWrite  []ReadWritePoint `json:"read_write"`
 	Bulk       []BulkPoint      `json:"bulk_build"`
 	Publish    []PublishPoint   `json:"publish_delta"`
+	Recovery   []RecoveryPoint  `json:"recovery"`
 }
 
 // BuildBatchReport runs the E12-E17 measurements and assembles the report.
@@ -513,6 +515,7 @@ func BuildBatchReport(sc Scale) BatchReport {
 	rep.ReadWrite = buildReadWritePoints(sc)
 	rep.Bulk = buildBulkPoints(sc)
 	rep.Publish = buildPublishPoints(sc)
+	rep.Recovery = buildRecoveryPoints(sc)
 	return rep
 }
 

@@ -84,7 +84,7 @@ func measureN(r int, run func() float64) sample {
 func timeBulkBuild(n int, edges []parmsf.Edge, runs int) sample {
 	return measureN(runs, func() float64 {
 		t0 := time.Now()
-		f, errs := parmsf.Build(n, edges, parmsf.Options{MaxEdges: len(edges)})
+		f, errs := parmsf.MustBuild(n, edges, parmsf.Options{MaxEdges: len(edges)})
 		if errs != nil {
 			panic(fmt.Sprintf("experiments: E17 build errors: %v", errs))
 		}
@@ -98,7 +98,7 @@ func timeBulkBuild(n int, edges []parmsf.Edge, runs int) sample {
 // fresh forest (nanoseconds).
 func timeGiantInsert(n int, edges []parmsf.Edge, runs int) sample {
 	return measureN(runs, func() float64 {
-		f := parmsf.New(n, parmsf.Options{MaxEdges: len(edges)})
+		f := parmsf.MustNew(n, parmsf.Options{MaxEdges: len(edges)})
 		defer f.Close()
 		t0 := time.Now()
 		if errs := f.InsertEdges(edges); errs != nil {
@@ -112,7 +112,7 @@ func timeGiantInsert(n int, edges []parmsf.Edge, runs int) sample {
 // set into a fresh forest (nanoseconds).
 func timePerEdgeInsert(n int, edges []parmsf.Edge, runs int) sample {
 	return measureN(runs, func() float64 {
-		f := parmsf.New(n, parmsf.Options{MaxEdges: len(edges)})
+		f := parmsf.MustNew(n, parmsf.Options{MaxEdges: len(edges)})
 		defer f.Close()
 		t0 := time.Now()
 		for _, e := range edges {

@@ -75,7 +75,7 @@ func runPublish(bs workload.BatchStream, sweep bool) pdSample {
 	for i, e := range bs.Base {
 		edges[i] = parmsf.Edge{U: e.U, V: e.V, W: e.W}
 	}
-	f, errs := parmsf.Build(n, edges, opt)
+	f, errs := parmsf.MustBuild(n, edges, opt)
 	if errs != nil {
 		panic(fmt.Sprintf("experiments: E18 base load failed: %v", errs))
 	}

@@ -41,7 +41,7 @@ type rwSample struct {
 // to coalesce. The workload is conflict-free (disjoint vertex intervals),
 // so any error observed on a future is a correctness failure and panics.
 func runReadWrite(n, workers, readers, submitChunk int, streams []workload.Stream) rwSample {
-	f := parmsf.New(n, parmsf.Options{
+	f := parmsf.MustNew(n, parmsf.Options{
 		Workers:  workers,
 		MaxEdges: 4 * n,
 		// Deep queue + modest batch bound: writers should never stall on

@@ -1,0 +1,109 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDisarmedHitIsNoop(t *testing.T) {
+	var nilIn *Injector
+	nilIn.Hit("core/apply-batch") // nil receiver must be safe
+	in := New()
+	in.Hit("core/apply-batch") // disarmed must be safe
+	if in.Armed() {
+		t.Fatal("fresh injector reports armed")
+	}
+}
+
+func TestArmUnknownPoint(t *testing.T) {
+	if err := New().Arm("no/such-point", 1); err == nil {
+		t.Fatal("arming an unregistered point succeeded")
+	}
+}
+
+func TestFireOnceAndDisarm(t *testing.T) {
+	p := Register("faultinject/test-point")
+	in := New()
+	if err := in.Arm(p, 3); err != nil {
+		t.Fatal(err)
+	}
+	in.Hit(p)
+	in.Hit(p)
+	fired := func() (c *Crash) {
+		defer func() {
+			if r := recover(); r != nil {
+				cr := r.(Crash)
+				c = &cr
+			}
+		}()
+		in.Hit(p)
+		return nil
+	}()
+	if fired == nil || fired.Point != p {
+		t.Fatalf("third hit did not fire Crash{%s}: %v", p, fired)
+	}
+	if in.Armed() {
+		t.Fatal("point still armed after firing")
+	}
+	in.Hit(p) // one-shot: rebuilding through the same path must not re-trip
+}
+
+func TestArmSpec(t *testing.T) {
+	a := Register("faultinject/spec-a")
+	b := Register("faultinject/spec-b")
+	in := New()
+	if err := in.ArmSpec(a + ":2, " + b); err != nil {
+		t.Fatal(err)
+	}
+	in.Hit(a) // first of two
+	for _, want := range []string{b, a} {
+		got := func() (p string) {
+			defer func() {
+				if r := recover(); r != nil {
+					p = r.(Crash).Point
+				}
+			}()
+			in.Hit(want)
+			return ""
+		}()
+		if got != want {
+			t.Fatalf("hit %q fired %q", want, got)
+		}
+	}
+	if err := in.ArmSpec("x:0"); err == nil {
+		t.Fatal("bad hit count accepted")
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	p := Register("faultinject/race-point")
+	in := New()
+	if err := in.Arm(p, 50); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fires := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							fires++
+							mu.Unlock()
+						}
+					}()
+					in.Hit(p)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if fires != 1 {
+		t.Fatalf("armed point fired %d times, want exactly 1", fires)
+	}
+}

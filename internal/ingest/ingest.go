@@ -19,12 +19,63 @@ package ingest
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// ErrClosed reports a Submit or Flush on a closed queue.
-var ErrClosed = errors.New("ingest: queue closed")
+// Default sentinels for the queue's lifecycle and admission errors. An
+// embedding layer (parmsf) substitutes its own public sentinels through
+// Config, so futures and Flush results carry the embedder's error values
+// directly, with no translation layer between the queue and its callers.
+var (
+	// ErrClosed reports a Submit or Flush on a closed queue.
+	ErrClosed = errors.New("ingest: queue closed")
+	// ErrFull reports a Submit rejected by the Fail admission policy (or a
+	// Wait policy that timed out): Depth ops were already queued and the
+	// submission was not accepted.
+	ErrFull = errors.New("ingest: queue full")
+	// ErrFlushTimeout reports a Flush that exceeded Config.FlushTimeout;
+	// the flushed ops remain queued and will still apply.
+	ErrFlushTimeout = errors.New("ingest: flush deadline exceeded")
+)
+
+// SubmitPolicy selects what Submit does when the queue buffer is full.
+type SubmitPolicy int
+
+const (
+	// SubmitBlock waits for space (backpressure; the default).
+	SubmitBlock SubmitPolicy = iota
+	// SubmitFail rejects immediately with the queue's full error.
+	SubmitFail
+	// SubmitWait waits up to Config.SubmitTimeout for space, then rejects
+	// with the queue's full error. A zero timeout degenerates to
+	// SubmitBlock.
+	SubmitWait
+)
+
+// Config parameterizes New. The zero value selects every default.
+type Config struct {
+	// Depth is the submission channel's buffer: the backpressure bound at
+	// which the admission policy engages. < 1 selects 1024.
+	Depth int
+	// MaxBatch caps how many ops one drained engine batch may coalesce.
+	// < 1 selects 512.
+	MaxBatch int
+	// Policy is the admission policy for full-queue submissions.
+	Policy SubmitPolicy
+	// SubmitTimeout bounds a SubmitWait submission's wait for space.
+	SubmitTimeout time.Duration
+	// FlushTimeout bounds every Flush call; 0 waits indefinitely.
+	FlushTimeout time.Duration
+	// ClosedErr / FullErr / TimeoutErr override the error values carried by
+	// closed-queue, rejected, and flush-timeout results (nil keeps the
+	// package defaults ErrClosed / ErrFull / ErrFlushTimeout).
+	ClosedErr  error
+	FullErr    error
+	TimeoutErr error
+}
 
 // Op is one edge update: an insertion of (U, V) with weight W, or — when
 // Delete is set — a deletion of edge (U, V).
@@ -94,6 +145,13 @@ type Queue struct {
 	maxBatch int
 	applier  Applier
 
+	policy        SubmitPolicy
+	submitTimeout time.Duration
+	flushTimeout  time.Duration
+	closedErr     error
+	fullErr       error
+	timeoutErr    error
+
 	mu     sync.RWMutex // closed flag vs in-flight Submit/Flush sends
 	closed bool
 
@@ -107,45 +165,107 @@ type Queue struct {
 	pending    []item
 }
 
-// New starts a queue feeding applier. depth is the submission channel's
-// buffer (backpressure bound: producers block once depth ops are waiting);
-// maxBatch caps how many ops one drained batch may coalesce. Values < 1
-// fall back to defaults (depth 1024, maxBatch 512).
+// New starts a queue feeding applier with default admission behavior.
+// depth is the submission channel's buffer (backpressure bound: producers
+// block once depth ops are waiting); maxBatch caps how many ops one drained
+// batch may coalesce. Values < 1 fall back to defaults (depth 1024,
+// maxBatch 512).
 func New(applier Applier, depth, maxBatch int) *Queue {
-	if depth < 1 {
-		depth = 1024
+	return NewWithConfig(applier, Config{Depth: depth, MaxBatch: maxBatch})
+}
+
+// NewWithConfig starts a queue feeding applier, parameterized by cfg.
+func NewWithConfig(applier Applier, cfg Config) *Queue {
+	if cfg.Depth < 1 {
+		cfg.Depth = 1024
 	}
-	if maxBatch < 1 {
-		maxBatch = 512
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 512
+	}
+	if cfg.ClosedErr == nil {
+		cfg.ClosedErr = ErrClosed
+	}
+	if cfg.FullErr == nil {
+		cfg.FullErr = ErrFull
+	}
+	if cfg.TimeoutErr == nil {
+		cfg.TimeoutErr = ErrFlushTimeout
+	}
+	if cfg.Policy == SubmitWait && cfg.SubmitTimeout <= 0 {
+		cfg.Policy = SubmitBlock
 	}
 	q := &Queue{
-		ch:         make(chan item, depth),
-		maxBatch:   maxBatch,
-		applier:    applier,
-		drained:    make(chan struct{}),
-		scratch:    make([]Op, 0, maxBatch),
-		futScratch: make([]*Future, 0, maxBatch),
-		pending:    make([]item, 0, maxBatch),
+		ch:            make(chan item, cfg.Depth),
+		maxBatch:      cfg.MaxBatch,
+		applier:       applier,
+		policy:        cfg.Policy,
+		submitTimeout: cfg.SubmitTimeout,
+		flushTimeout:  cfg.FlushTimeout,
+		closedErr:     cfg.ClosedErr,
+		fullErr:       cfg.FullErr,
+		timeoutErr:    cfg.TimeoutErr,
+		drained:       make(chan struct{}),
+		scratch:       make([]Op, 0, cfg.MaxBatch),
+		futScratch:    make([]*Future, 0, cfg.MaxBatch),
+		pending:       make([]item, 0, cfg.MaxBatch),
 	}
 	go q.drain()
 	return q
 }
 
-// Submit enqueues one op and returns its Future. Safe for concurrent use;
-// blocks only when the queue buffer is full (backpressure). After Close,
-// returns an already-resolved Future with ErrClosed.
+// Submit enqueues one op and returns its Future. Safe for concurrent use.
+// A full queue engages the admission policy: block for space (default),
+// reject immediately, or wait up to the configured timeout — rejections
+// return an already-resolved Future with the queue's full error. After
+// Close, returns an already-resolved Future with the queue's closed error.
 func (q *Queue) Submit(op Op) *Future {
 	fut := &Future{done: make(chan struct{})}
 	q.mu.RLock()
 	if q.closed {
 		q.mu.RUnlock()
-		fut.err = ErrClosed
+		fut.err = q.closedErr
 		close(fut.done)
 		return fut
 	}
-	q.ch <- item{op: op, fut: fut}
+	if !q.send(item{op: op, fut: fut}) {
+		q.mu.RUnlock()
+		fut.err = q.fullErr
+		close(fut.done)
+		return fut
+	}
 	q.mu.RUnlock()
 	return fut
+}
+
+// send enqueues it under the caller's read lock, applying the admission
+// policy; false means the submission was rejected (full queue).
+func (q *Queue) send(it item) bool {
+	switch q.policy {
+	case SubmitFail:
+		select {
+		case q.ch <- it:
+			return true
+		default:
+			return false
+		}
+	case SubmitWait:
+		select {
+		case q.ch <- it:
+			return true
+		default:
+		}
+		t := time.NewTimer(q.submitTimeout)
+		defer t.Stop()
+		select {
+		case q.ch <- it:
+			return true
+		case <-t.C:
+			return false
+		}
+	default:
+		q.ch <- it
+		return true
+	}
 }
 
 // SubmitBatch enqueues ops as one unit and returns one Future per op. The
@@ -170,30 +290,54 @@ func (q *Queue) SubmitBatch(ops []Op) []*Future {
 	if q.closed {
 		q.mu.RUnlock()
 		for _, f := range futs {
-			f.err = ErrClosed
+			f.err = q.closedErr
 			close(f.done)
 		}
 		return futs
 	}
-	q.ch <- item{ops: ops, futs: futs}
+	if !q.send(item{ops: ops, futs: futs}) {
+		q.mu.RUnlock()
+		for _, f := range futs {
+			f.err = q.fullErr
+			close(f.done)
+		}
+		return futs
+	}
 	q.mu.RUnlock()
 	return futs
 }
 
-// Flush blocks until every op submitted before the call has applied.
-// Returns ErrClosed if the queue is closed (a closed queue has already
-// drained everything it accepted).
+// Flush blocks until every op submitted before the call has applied, or —
+// with Config.FlushTimeout set — until the deadline, returning the queue's
+// timeout error (the flushed ops remain queued and still apply). Returns
+// the queue's closed error if the queue is closed (a closed queue has
+// already drained everything it accepted).
 func (q *Queue) Flush() error {
+	var deadline <-chan time.Time
+	if q.flushTimeout > 0 {
+		t := time.NewTimer(q.flushTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
 	marker := make(chan struct{})
 	q.mu.RLock()
 	if q.closed {
 		q.mu.RUnlock()
-		return ErrClosed
+		return q.closedErr
 	}
-	q.ch <- item{flush: marker}
-	q.mu.RUnlock()
-	<-marker
-	return nil
+	select {
+	case q.ch <- item{flush: marker}:
+		q.mu.RUnlock()
+	case <-deadline:
+		q.mu.RUnlock()
+		return q.timeoutErr
+	}
+	select {
+	case <-marker:
+		return nil
+	case <-deadline:
+		return q.timeoutErr
+	}
 }
 
 // Close stops accepting submissions, waits for every accepted op to apply,
@@ -297,12 +441,7 @@ func (q *Queue) apply(items []item) {
 				i++
 			}
 		}
-		var errs []error
-		if del {
-			errs = q.applier.ApplyDeletes(ops)
-		} else {
-			errs = q.applier.ApplyInserts(ops)
-		}
+		errs := q.applyRun(del, ops)
 		q.scratch = ops[:0]
 		// Count before resolving: anyone observing a future resolve (and
 		// therefore anyone a Flush released) sees Stats covering that op.
@@ -317,4 +456,27 @@ func (q *Queue) apply(items []item) {
 		clear(futs) // drop future pointers from the pooled buffer
 		q.futScratch = futs[:0]
 	}
+}
+
+// applyRun hands one coalesced same-kind run to the applier, containing any
+// panic that escapes it: the drainer goroutine must survive — it owns every
+// queued future — so a panicking applier resolves the run's ops with a
+// descriptive error instead of killing the process. The embedding layer
+// (parmsf) recovers engine panics itself and returns typed per-op errors;
+// this recover is the queue's own last line, covering applier bugs outside
+// that containment.
+func (q *Queue) applyRun(del bool, ops []Op) (errs []error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("ingest: applier panicked: %v", r)
+			errs = make([]error, len(ops))
+			for i := range errs {
+				errs[i] = err
+			}
+		}
+	}()
+	if del {
+		return q.applier.ApplyDeletes(ops)
+	}
+	return q.applier.ApplyInserts(ops)
 }

@@ -155,7 +155,20 @@ type pool struct {
 
 	inRound atomic.Bool // re-entrancy guard: nested run() executes inline
 	closed  atomic.Bool
+
+	// trap captures the first panic a kernel chunk throws during a round.
+	// The claiming goroutine recovers it — the countdown barrier must keep
+	// decrementing, or the dispatcher (and with it the whole forest) would
+	// deadlock waiting on chunks that died — and the dispatcher re-throws
+	// it once the barrier resolves, so a kernel panic surfaces on the
+	// goroutine that dispatched the round (where the API layer's poisoning
+	// recover can catch it) instead of killing the process from a worker.
+	trap atomic.Pointer[trappedPanic]
 }
+
+// trappedPanic boxes a recovered kernel panic value for the round's
+// dispatcher to re-throw.
+type trappedPanic struct{ val any }
 
 func newPool(workers int) *pool {
 	pl := &pool{
@@ -218,6 +231,13 @@ func (pl *pool) run(active int, f func(p int), fr func(lo, hi int)) {
 	pl.wait()
 	pl.f, pl.fr = nil, nil // drop kernel references between rounds
 	pl.inRound.Store(false)
+	if t := pl.trap.Swap(nil); t != nil {
+		// Re-throw the round's first kernel panic on the dispatcher, after
+		// the barrier: the pool is quiescent again and the panic unwinds
+		// the goroutine that asked for the round, exactly as it would have
+		// under sequential execution.
+		panic(t.val)
+	}
 }
 
 // claim repeatedly claims and executes chunks of the current round until
@@ -240,19 +260,33 @@ func (pl *pool) claim() {
 		if hi > pl.active {
 			hi = pl.active
 		}
-		if fr := pl.fr; fr != nil {
-			fr(lo, hi)
-		} else {
-			f := pl.f
-			for p := lo; p < hi; p++ {
-				f(p)
-			}
-		}
+		pl.execChunk(lo, hi)
 		if pl.pending.Add(-1) == 0 {
 			if pl.parked.Swap(0) == 1 {
 				pl.done <- struct{}{}
 			}
 		}
+	}
+}
+
+// execChunk runs one claimed chunk, trapping a kernel panic (first one
+// wins) instead of letting it unwind a worker run loop. The remaining
+// indices of a panicked chunk are skipped — the round's output is already
+// lost — but the chunk still counts down the barrier, keeping every other
+// claimant and the dispatcher live.
+func (pl *pool) execChunk(lo, hi int) {
+	defer func() {
+		if r := recover(); r != nil {
+			pl.trap.CompareAndSwap(nil, &trappedPanic{val: r})
+		}
+	}()
+	if fr := pl.fr; fr != nil {
+		fr(lo, hi)
+		return
+	}
+	f := pl.f
+	for p := lo; p < hi; p++ {
+		f(p)
 	}
 }
 

@@ -321,6 +321,7 @@ func (e *era) applyCut(rel uint32, op DeltaOp, side []int32) bool {
 // writes from the failed attempt stay hidden behind the unpublished epoch
 // stamp. Publisher side only.
 func (p *Publisher) TryPublishDelta(ops []DeltaOp, sides []int32) bool {
+	p.fault.Hit(fpPublish)
 	e := p.curEra
 	if e == nil || len(ops) == 0 {
 		return false

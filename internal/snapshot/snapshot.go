@@ -43,7 +43,16 @@ package snapshot
 import (
 	"sync/atomic"
 	"time"
+
+	"parmsf/internal/faultinject"
 )
+
+// fpPublish is the read plane's crash point: it fires at the entry of both
+// publication paths (Publish and TryPublishDelta), before any
+// publisher-side mutation — a trapped publication must leave the publisher
+// able to publish the recovered forest's rebased epoch, and readers on the
+// last published epoch.
+var fpPublish = faultinject.Register("snapshot/publish")
 
 // Edge is one forest edge of a snapshot, in original vertex space.
 type Edge struct {
@@ -159,7 +168,13 @@ type Publisher struct {
 	rebaseEvery int   // force a rebase every k epochs (0: capacity-driven)
 	beginAt     int64 // Begin's wall clock, folded into stats at Publish
 	stats       Stats
+
+	fault *faultinject.Injector // crash points (SetFault; nil no-op)
 }
+
+// SetFault installs the crash-point injector (fault-injection testing; nil
+// keeps every point a no-op).
+func (p *Publisher) SetFault(in *faultinject.Injector) { p.fault = in }
 
 // Stats are the publisher's cumulative publication counters (publisher
 // side only; not synchronized with concurrent publishes).
@@ -322,6 +337,7 @@ func (b Builder) SetWeight(w int64) { b.e.weight = w }
 // reuse once its readers drain. Returns the published snapshot (without an
 // extra reader reference). Publisher side only.
 func (p *Publisher) Publish(b Builder) *Snapshot {
+	p.fault.Hit(fpPublish)
 	s, e := b.s, b.e
 	e.seal()
 	e.snaps++

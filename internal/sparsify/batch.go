@@ -5,6 +5,13 @@ import (
 	"sort"
 
 	"parmsf/internal/batch"
+	"parmsf/internal/faultinject"
+)
+
+// Crash points of the sparsification tree (see Forest.Fault).
+var (
+	fpRunBatch = faultinject.Register("sparsify/run-batch")
+	fpNodeTask = faultinject.Register("sparsify/node-task")
 )
 
 // This file implements the batch path of the sparsification tree: a whole
@@ -189,6 +196,7 @@ func (f *Forest) DeleteEdges(keys [][2]int) []error {
 // over every touched node; both plus the O(log n) coordination of Section
 // 5.3.
 func (f *Forest) runBatch(fr frontier) {
+	f.Fault.Hit(fpRunBatch)
 	if f.Pipeline {
 		f.runBatchPipelined(fr)
 		return
@@ -306,6 +314,7 @@ type BulkEngine interface {
 // the node classifies its local MSF with a Kruskal pass and the engine
 // skips the per-edge update machinery entirely.
 func (f *Forest) applyNodeDelta(nd *node, dels [][2]int, inss []batch.Edge) {
+	f.Fault.Hit(fpNodeTask)
 	if len(dels) == 0 && nd.m == 0 && len(inss) > 0 {
 		if ble, ok := nd.eng.(BulkEngine); ok {
 			f.bulkLoadNode(nd, ble, inss)

@@ -41,6 +41,10 @@ import (
 //     so ParDepth/ParWork are identical to the barrier path for every
 //     worker count and every completion order.
 
+// trappedPanic boxes the first panic value a node task recovered, for the
+// batch's caller to re-throw once the schedule has drained.
+type trappedPanic struct{ val any }
+
 // pnode is one node of a batch's dependency closure.
 type pnode struct {
 	key      nodeKey
@@ -125,6 +129,25 @@ func (f *Forest) runBatchPipelined(fr frontier) {
 		} else {
 			notify <- p
 		}
+	}
+
+	// trap captures the first panic a node task throws (on a worker via
+	// Spawn or inline on the scheduler). The task's completion bookkeeping
+	// must still run — complete releases the parent's readiness count, and
+	// a parent waiting on a dead child would deadlock the scheduler — so
+	// the panic is recovered at the task boundary, the batch runs to its
+	// normal termination (descendant inconsistencies from the half-applied
+	// node land in the same trap), and the first panic re-throws on the
+	// caller once the schedule has fully drained.
+	var trap atomic.Pointer[trappedPanic]
+	runTask := func(p *pnode, dels [][2]int, inss []batch.Edge) {
+		defer complete(p)
+		defer func() {
+			if r := recover(); r != nil {
+				trap.CompareAndSwap(nil, &trappedPanic{val: r})
+			}
+		}()
+		f.runNodeTask(p, dels, inss)
 	}
 
 	var depth, work int64
@@ -223,16 +246,12 @@ func (f *Forest) runBatchPipelined(fr frontier) {
 			// spawns when there is something to run alongside, so a pure
 			// chain (one runnable node at a time — every root path tail)
 			// executes inline with no goroutine churn at all.
-			f.Spawn(func() {
-				f.runNodeTask(p, dels, inss)
-				complete(p)
-			})
+			f.Spawn(func() { runTask(p, dels, inss) })
 		} else {
 			// Dispatcher participation: the scheduler goroutine runs the
 			// sole ready node itself instead of parking on the
 			// notification channel.
-			f.runNodeTask(p, dels, inss)
-			complete(p)
+			runTask(p, dels, inss)
 		}
 	}
 
@@ -240,6 +259,12 @@ func (f *Forest) runBatchPipelined(fr frontier) {
 	// REdges scans, readiness bookkeeping) cost O(log n).
 	f.ParDepth += depth + 2*int64(f.levels+1)
 	f.ParWork += work + 2*int64(f.levels+1)
+	if t := trap.Swap(nil); t != nil {
+		// Re-throw the batch's first node-task panic on the caller, with
+		// the schedule fully drained and the workers quiescent — the API
+		// layer's poisoning recover takes it from here.
+		panic(t.val)
+	}
 }
 
 // runNodeTask applies one node's net delta and measures its private
@@ -288,8 +313,17 @@ func NewTaskPool(workers int) *TaskPool {
 
 func (tp *TaskPool) loop() {
 	for run := range tp.ch {
-		run()
+		tp.exec(run)
 	}
+}
+
+// exec runs one task, keeping the run loop alive if the task panics past
+// its own containment (tasks from the pipeline scheduler trap their panics
+// at the task boundary; this recover is the pool's own backstop — a dead
+// run loop would strand queued tasks and hang the batch that spawned them).
+func (tp *TaskPool) exec(run func()) {
+	defer func() { recover() }()
+	run()
 }
 
 // Spawn submits one task; install this as Forest.Spawn.

@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"parmsf/internal/faultinject"
 )
 
 // Engine is the per-node dynamic MSF interface (matched by core.MSF, the
@@ -132,6 +134,13 @@ type Forest struct {
 	// bulk-load routing (insert-only delta into an empty node, engine with a
 	// bulk loader). Atomic: node applications run on worker goroutines.
 	BulkNodeLoads atomic.Int64
+	// Fault, when set, arms the tree's crash points (fault-injection
+	// testing): sparsify/run-batch fires on the batch goroutine after the
+	// edge map committed but before any node applied; sparsify/node-task
+	// fires inside a node application — on a worker goroutine under the
+	// pipeline scheduler, where the trap/complete containment must carry
+	// the panic back to the caller without deadlocking the schedule.
+	Fault *faultinject.Injector
 	// Applied counts the updates the tree has fully applied — one per
 	// single-edge operation, one per batch entry point that staged at
 	// least one edge. OnApplied, when set, fires at the same points,

@@ -19,6 +19,16 @@ import (
 
 	"parmsf/internal/batch"
 	"parmsf/internal/core"
+	"parmsf/internal/faultinject"
+)
+
+// Crash points of the degree-reduction layer: both fire after the wrapper's
+// slot/ring staging has mutated its bookkeeping (slots, hosted, edges map)
+// and before the staged batch reaches the engine — the wrapper-vs-engine
+// divergence a recovery rebuild must erase.
+var (
+	fpBatchInsert = faultinject.Register("ternary/batch-insert")
+	fpBatchDelete = faultinject.Register("ternary/batch-delete")
 )
 
 // RingWeight is the weight of gadget ring edges. It must compare below
@@ -91,6 +101,8 @@ type Wrapper struct {
 	stage       compactStage
 	touchedVs   []int
 	touchedSet  map[int]bool
+
+	fault *faultinject.Injector // crash points (SetFault; nil no-op)
 }
 
 // New wraps a fresh degree-3 engine for n vertices and at most maxEdges
@@ -138,6 +150,10 @@ func (w *Wrapper) Gadget() Engine { return w.eng }
 
 // SetEvents installs a forest-change callback in original-vertex space.
 func (w *Wrapper) SetEvents(f func(u, v int, w int64, added bool)) { w.events = f }
+
+// SetFault installs the crash-point injector (fault-injection testing; nil
+// keeps every point a no-op).
+func (w *Wrapper) SetFault(in *faultinject.Injector) { w.fault = in }
 
 // SetCutSides installs a cut-side callback in original-vertex space: for
 // every real (non-ring) forest-edge removal it receives the original
@@ -478,6 +494,7 @@ func (w *Wrapper) InsertEdges(items []BatchEdge) []error {
 		ops = append(ops, core.BatchOp{U: int(rec.su), V: int(rec.sv), W: it.W})
 	}
 	if len(ops) > 0 {
+		w.fault.Hit(fpBatchInsert)
 		for _, err := range be.ApplyBatch(ops) {
 			if err != nil {
 				panic(fmt.Sprintf("ternary: gadget batch insert failed: %v", err))
@@ -566,6 +583,7 @@ func (w *Wrapper) DeleteEdges(keys [][2]int) []error {
 		w.compactVertex(x, &w.stage)
 	}
 	ops = w.stage.emit(ops)
+	w.fault.Hit(fpBatchDelete)
 	for _, err := range be.ApplyBatch(ops) {
 		if err != nil {
 			panic(fmt.Sprintf("ternary: gadget batch delete failed: %v", err))

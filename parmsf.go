@@ -48,12 +48,18 @@ package parmsf
 
 import (
 	"errors"
+	"fmt"
 	"os"
+	"runtime/debug"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"parmsf/internal/batch"
 	"parmsf/internal/core"
+	"parmsf/internal/faultinject"
 	"parmsf/internal/ingest"
 	"parmsf/internal/pram"
 	"parmsf/internal/snapshot"
@@ -68,20 +74,7 @@ type Weight = int64
 // are reserved by the degree-reduction gadget).
 const MinWeight = ternary.RingWeight + 1
 
-// Common errors.
-var (
-	// ErrExists reports insertion of an already-present edge.
-	ErrExists = errors.New("parmsf: edge already present")
-	// ErrNotFound reports deletion of an absent edge.
-	ErrNotFound = errors.New("parmsf: edge not present")
-	// ErrCapacity reports exceeding the configured MaxEdges.
-	ErrCapacity = errors.New("parmsf: edge capacity exhausted")
-	// ErrBadEdge reports a self loop, an out-of-range vertex, or a weight
-	// below MinWeight.
-	ErrBadEdge = errors.New("parmsf: invalid edge")
-	// ErrClosed reports a Submit or Flush after Close.
-	ErrClosed = errors.New("parmsf: forest closed")
-)
+// Common errors are declared in errors.go (the package error taxonomy).
 
 // Snapshot is an immutable point-in-time view of the forest: a flat
 // component-id array, the forest edge list, the total weight and an epoch
@@ -142,7 +135,55 @@ type Options struct {
 	// variable overrides it (tests and experiments exercising the
 	// rebase/patch boundary).
 	SnapshotRebaseEvery int
+	// SubmitPolicy selects what Submit and SubmitBatch do when QueueDepth
+	// updates are already waiting: block for space (SubmitBlock, the
+	// default), reject immediately with ErrQueueFull (SubmitFail), or wait
+	// up to SubmitTimeout and then reject (SubmitWait). With SubmitFail and
+	// SubmitWait a stalled — or poisoned — drainer can no longer block
+	// producers forever.
+	SubmitPolicy SubmitPolicy
+	// SubmitTimeout bounds a SubmitWait submission's wait for queue space.
+	// Zero with SubmitWait degenerates to SubmitBlock.
+	SubmitTimeout time.Duration
+	// FlushTimeout bounds every Flush call; a Flush that exceeds it
+	// returns ErrTimeout (the flushed updates remain queued and still
+	// apply). Zero waits indefinitely.
+	FlushTimeout time.Duration
+	// AutoRecover rebuilds the forest from the live-edge journal
+	// immediately after a mutator poisons it: the failed operation still
+	// reports its ErrPoisoned (the failed batch is never applied), but the
+	// forest is healthy again by the time that error is observed. Without
+	// it, the forest stays poisoned until Recover is called.
+	AutoRecover bool
+	// FaultPoints arms deterministic crash points for fault-injection
+	// testing: each entry is a "point" or "point:N" spec naming a
+	// registered injection site (see FaultPoints()) that will panic on its
+	// N-th upcoming hit. nil falls back to the PARMSF_FAULT environment
+	// variable (same comma-separated spec format); an empty non-nil slice
+	// explicitly disarms the forest regardless of environment. Production
+	// forests leave this nil with PARMSF_FAULT unset: every site then
+	// costs one atomic load.
+	FaultPoints []string
 }
+
+// SubmitPolicy is the ingest queue's admission policy (Options.SubmitPolicy).
+type SubmitPolicy int
+
+const (
+	// SubmitBlock blocks producers until queue space frees (backpressure).
+	SubmitBlock SubmitPolicy = SubmitPolicy(ingest.SubmitBlock)
+	// SubmitFail rejects immediately with ErrQueueFull when the queue is
+	// full.
+	SubmitFail SubmitPolicy = SubmitPolicy(ingest.SubmitFail)
+	// SubmitWait waits up to Options.SubmitTimeout for space, then rejects
+	// with ErrQueueFull.
+	SubmitWait SubmitPolicy = SubmitPolicy(ingest.SubmitWait)
+)
+
+// FaultPoints returns the names of every registered fault-injection crash
+// point compiled into the engine stack, sorted (see Options.FaultPoints and
+// Forest.ArmFault).
+func FaultPoints() []string { return faultinject.Points() }
 
 // Forest is a dynamic minimum spanning forest over vertices 0..n-1.
 // Queries are lock-free against the current snapshot and safe from any
@@ -151,22 +192,39 @@ type Options struct {
 // section.
 type Forest struct {
 	n     int
+	opt   Options // normalized at New; Recover rebuilds engines from it
 	eng   engine
 	mach  *pram.Machine
 	ch    core.Charger       // batch kernels route through this
 	spars *sparsify.Forest   // non-nil when Options.Sparsify is set
 	tasks *sparsify.TaskPool // pipeline node-task workers (Sparsify+Workers)
+	fault *faultinject.Injector
 
-	mu    sync.Mutex // serializes mutators (engine + publication state)
-	pub   *snapshot.Publisher
-	dirty bool // forest changed since the last published epoch
-	dc    deltaCollector
-	ufPar []int32
+	mu       sync.Mutex // serializes mutators (engine + publication state)
+	pub      *snapshot.Publisher
+	dirty    bool // forest changed since the last published epoch
+	dc       deltaCollector
+	suppress bool // Recover's rebuild in progress: skip epoch publication
+	ufPar    []int32
+
+	// jour is the live-edge journal: the canonical (u<v) key and weight of
+	// every edge currently in the graph, maintained by the API layer and
+	// written only after an update's batch has committed — so whatever a
+	// panic strands mid-batch is, by construction, not in the journal, and
+	// Recover rebuilding from it gets exactly the state with the failed
+	// batch rolled back. O(1) per op, allocation-free in steady state
+	// (delete/reinsert churn reuses the map's buckets).
+	jour map[[2]int]int64
+
+	// poison is nil while healthy. The first panic a mutator's containment
+	// recovers CASes in a *PoisonError; every mutator and submission then
+	// fails fast on it until Recover clears it. Atomic so the ingest plane
+	// can check admission without the mutator lock.
+	poison atomic.Pointer[PoisonError]
 
 	qmu     sync.Mutex // guards lazy queue creation vs Close
 	q       *ingest.Queue
 	qa      queueApplier
-	qopts   [2]int // configured {QueueDepth, MaxBatch}
 	qfinal  ingest.Stats
 	qclosed bool
 }
@@ -181,10 +239,12 @@ type engine interface {
 	ForestEdges(f func(u, v int, w int64) bool)
 }
 
-// New creates an empty forest over n vertices (n >= 2).
-func New(n int, opt Options) *Forest {
+// New creates an empty forest over n vertices (n >= 2). Returns
+// ErrTooFewVertices when n < 2, or an error naming a malformed
+// Options.FaultPoints (or PARMSF_FAULT) spec.
+func New(n int, opt Options) (*Forest, error) {
 	if n < 2 {
-		panic("parmsf: need at least two vertices")
+		return nil, ErrTooFewVertices
 	}
 	if opt.MaxEdges == 0 {
 		opt.MaxEdges = 4 * n
@@ -192,7 +252,18 @@ func New(n int, opt Options) *Forest {
 	if opt.CheckEREW || opt.Workers != 0 {
 		opt.Parallel = true
 	}
-	f := &Forest{n: n}
+	f := &Forest{n: n, opt: opt, fault: faultinject.New(), jour: make(map[[2]int]int64)}
+	if specs := opt.FaultPoints; specs != nil {
+		for _, s := range specs {
+			if err := f.fault.ArmSpec(s); err != nil {
+				return nil, err
+			}
+		}
+	} else if env := os.Getenv("PARMSF_FAULT"); env != "" {
+		if err := f.fault.ArmSpec(env); err != nil {
+			return nil, err
+		}
+	}
 	if opt.Parallel {
 		if opt.Workers != 0 && !opt.CheckEREW {
 			f.mach = pram.NewParallel(opt.Workers)
@@ -205,8 +276,45 @@ func New(n int, opt Options) *Forest {
 	} else {
 		f.ch = core.SeqCharger{}
 	}
+	if opt.Sparsify && f.mach != nil && opt.Workers != 0 && !opt.CheckEREW {
+		f.tasks = sparsify.NewTaskPool(f.mach.Workers())
+	}
+	f.buildEngine()
+	// Wire the read plane: one publisher for the forest's whole lifetime —
+	// it survives engine teardown in Recover, which is what keeps epochs
+	// monotone across a poison/recover cycle.
+	f.pub = snapshot.NewPublisher(n)
+	f.pub.SetFault(f.fault)
+	if k := opt.SnapshotRebaseEvery; k > 0 {
+		f.pub.SetRebaseEvery(k)
+	} else if env := os.Getenv("PARMSF_SNAPSHOT_REBASE"); env != "" {
+		if k, err := strconv.Atoi(env); err == nil && k > 0 {
+			f.pub.SetRebaseEvery(k)
+		}
+	}
+	f.qa.f = f
+	return f, nil
+}
+
+// MustNew is New for static configurations known to be valid: it panics on
+// error (tests, examples, package-level initialization).
+func MustNew(n int, opt Options) *Forest {
+	f, err := New(n, opt)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// buildEngine constructs the engine stack from f.opt and wires the
+// snapshot hooks and the fault injector into every layer. Called once by
+// New and again by Recover, which drops the poisoned engines and rebuilds
+// on the same machine, task pool, publisher and injector.
+func (f *Forest) buildEngine() {
+	opt := f.opt
+	n := f.n
 	mkCore := func(gn int) ternary.Engine {
-		cfg := core.Config{K: opt.K}
+		cfg := core.Config{K: opt.K, Fault: f.fault}
 		if f.mach != nil {
 			return core.NewMSF(gn, cfg, core.PRAMCharger{M: f.mach})
 		}
@@ -226,9 +334,11 @@ func New(n int, opt Options) *Forest {
 			// Workers goroutines when a real pool is configured.
 			sp = sparsify.New(n, func(localN, maxEdges int) sparsify.Engine {
 				nm := pram.New(false)
-				return ternary.New(localN, maxEdges, func(gn int) ternary.Engine {
-					return core.NewMSF(gn, core.Config{K: opt.K}, core.PRAMCharger{M: nm})
+				tw := ternary.New(localN, maxEdges, func(gn int) ternary.Engine {
+					return core.NewMSF(gn, core.Config{K: opt.K, Fault: f.fault}, core.PRAMCharger{M: nm})
 				})
+				tw.SetFault(f.fault)
+				return tw
 			})
 			sp.DepthFn = func(e sparsify.Engine) int64 {
 				if m := nodeMachine(e); m != nil {
@@ -244,35 +354,29 @@ func New(n int, opt Options) *Forest {
 			}
 			sp.Exec = func(tasks int, run func(t int)) { f.mach.Run(tasks, run) }
 			sp.Pipeline = true
-			if opt.Workers != 0 && !opt.CheckEREW {
-				f.tasks = sparsify.NewTaskPool(f.mach.Workers())
+			if f.tasks != nil {
 				sp.Spawn = f.tasks.Spawn
 			}
 		} else {
 			sp = sparsify.New(n, func(localN, maxEdges int) sparsify.Engine {
-				return ternary.New(localN, maxEdges, mkCore)
+				tw := ternary.New(localN, maxEdges, mkCore)
+				tw.SetFault(f.fault)
+				return tw
 			})
 		}
+		sp.Fault = f.fault
 		f.eng = sp
 		f.spars = sp
 	} else {
-		f.eng = ternary.New(n, opt.MaxEdges, mkCore)
+		tw := ternary.New(n, opt.MaxEdges, mkCore)
+		tw.SetFault(f.fault)
+		f.eng = tw
 	}
-	// Wire the read plane: the engine reports forest deltas (so no-op
-	// updates skip republication) and fires the epoch hook once per fully
-	// applied update — past the sparsification pipeline barrier, past the
-	// ternary slot surgeries — at which point the engine is quiescent and
-	// a consistent snapshot can be built and swapped in.
-	f.pub = snapshot.NewPublisher(n)
-	if k := opt.SnapshotRebaseEvery; k > 0 {
-		f.pub.SetRebaseEvery(k)
-	} else if env := os.Getenv("PARMSF_SNAPSHOT_REBASE"); env != "" {
-		if k, err := strconv.Atoi(env); err == nil && k > 0 {
-			f.pub.SetRebaseEvery(k)
-		}
-	}
-	f.qopts = [2]int{opt.QueueDepth, opt.MaxBatch}
-	f.qa.f = f
+	// The engine reports forest deltas (so no-op updates skip
+	// republication) and fires the epoch hook once per fully applied
+	// update — past the sparsification pipeline barrier, past the ternary
+	// slot surgeries — at which point the engine is quiescent and a
+	// consistent snapshot can be built and swapped in.
 	switch e := f.eng.(type) {
 	case *sparsify.Forest:
 		e.SetEvents(f.noteDelta)
@@ -283,7 +387,6 @@ func New(n int, opt Options) *Forest {
 		e.SetCutSides(f.noteCutSide)
 		e.OnApplied = f.publishIfDirty
 	}
-	return f
 }
 
 // deltaCollector accumulates one applied update's forest mutations in
@@ -360,6 +463,14 @@ func (f *Forest) noteCutSide(side []int32) {
 // the current era, and falls back to the full sweep (which is also the
 // rebase that restores delta capacity) when they do not.
 func (f *Forest) publishIfDirty() {
+	if f.suppress {
+		// Recover's rebuild drives the whole journal through the engine's
+		// load path; readers hold the pre-poison epoch until the rebuilt
+		// forest publishes once, atomically, at the end.
+		f.dirty = false
+		f.dc.reset()
+		return
+	}
 	if !f.dirty {
 		f.dc.reset()
 		return
@@ -473,12 +584,94 @@ func (f *Forest) absorbSpars() func() {
 // N returns the vertex count.
 func (f *Forest) N() int { return f.n }
 
+// poisonWith mints (or returns the already-installed) PoisonError for a
+// panic recovered at stage. Lock-free: the ingest drainer poisons without
+// the mutator lock. First panic wins; later ones report the original.
+func (f *Forest) poisonWith(stage string, r any) *PoisonError {
+	pe := &PoisonError{Stage: stage, Value: r, Stack: debug.Stack()}
+	if !f.poison.CompareAndSwap(nil, pe) {
+		pe = f.poison.Load()
+	}
+	return pe
+}
+
+// guarded is the mutator containment boundary: with the mutator lock held,
+// fail fast if the forest is already poisoned, otherwise run fn and convert
+// any panic that escapes the engine stack — including worker-pool kernel
+// panics and pipeline node-task panics, which the executors re-throw on
+// this goroutine once their barriers resolve — into a poisoned forest and
+// an ErrPoisoned-wrapping error. The journal is written only after fn's
+// batch commits, so a panicked fn leaves the journal at the pre-batch
+// state: the failed batch is, observably, never applied.
+func (f *Forest) guarded(stage string, fn func() error) (err error) {
+	if pe := f.poison.Load(); pe != nil {
+		return pe
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = f.poisonWith(stage, r)
+		}
+	}()
+	return fn()
+}
+
+// maybeAutoRecover runs Recover after a mutator returned poisoned, when
+// Options.AutoRecover is set. Called without the mutator lock.
+func (f *Forest) maybeAutoRecover(err error) {
+	if err != nil && f.opt.AutoRecover && errors.Is(err, ErrPoisoned) {
+		_ = f.Recover()
+	}
+}
+
+// maybeAutoRecoverBatch is maybeAutoRecover for per-edge error slices.
+func (f *Forest) maybeAutoRecoverBatch(errs []error) {
+	if errs == nil || !f.opt.AutoRecover {
+		return
+	}
+	for _, err := range errs {
+		if err != nil && errors.Is(err, ErrPoisoned) {
+			_ = f.Recover()
+			return
+		}
+	}
+}
+
+// Poisoned returns the forest's poison state: nil while healthy, else the
+// *PoisonError carrying the panic that poisoned it. Safe from any
+// goroutine.
+func (f *Forest) Poisoned() *PoisonError { return f.poison.Load() }
+
+// ArmFault arms deterministic crash points on this forest's fault injector
+// ("point" or "point:N" comma-separated specs; see FaultPoints for the
+// registry). Points are one-shot: each fires once and disarms. Testing
+// hook; see Options.FaultPoints.
+func (f *Forest) ArmFault(spec string) error { return f.fault.ArmSpec(spec) }
+
+// jkey returns the canonical journal key of an edge.
+func jkey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// poisonErrs fills a batch result with the poison error.
+func poisonErrs(n int, pe *PoisonError) []error {
+	errs := make([]error, n)
+	for i := range errs {
+		errs[i] = pe
+	}
+	return errs
+}
+
 // Insert adds edge (u, v) with weight w and updates the forest. Weights at
 // or below MinWeight are rejected.
 func (f *Forest) Insert(u, v int, w Weight) error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.insertLocked(u, v, w)
+	err := f.guarded("insert", func() error { return f.insertLocked(u, v, w) })
+	f.mu.Unlock()
+	f.maybeAutoRecover(err)
+	return err
 }
 
 func (f *Forest) insertLocked(u, v int, w Weight) error {
@@ -492,6 +685,7 @@ func (f *Forest) insertLocked(u, v int, w Weight) error {
 	err := f.eng.InsertEdge(u, v, w)
 	switch err {
 	case nil:
+		f.jour[jkey(u, v)] = w
 		return nil
 	case ternary.ErrExists, sparsify.ErrExists:
 		return ErrExists
@@ -507,8 +701,10 @@ func (f *Forest) insertLocked(u, v int, w Weight) error {
 // when a forest edge is removed).
 func (f *Forest) Delete(u, v int) error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.deleteLocked(u, v)
+	err := f.guarded("delete", func() error { return f.deleteLocked(u, v) })
+	f.mu.Unlock()
+	f.maybeAutoRecover(err)
+	return err
 }
 
 func (f *Forest) deleteLocked(u, v int) error {
@@ -516,6 +712,7 @@ func (f *Forest) deleteLocked(u, v int) error {
 	err := f.eng.DeleteEdge(u, v)
 	switch err {
 	case nil:
+		delete(f.jour, jkey(u, v))
 		return nil
 	case ternary.ErrMissing, sparsify.ErrMissing:
 		return ErrNotFound
@@ -568,9 +765,28 @@ func (f *Forest) InsertEdges(edges []Edge) []error {
 		return nil
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
+	errs := f.insertEdgesLocked(edges)
+	f.mu.Unlock()
+	f.maybeAutoRecoverBatch(errs)
+	return errs
+}
+
+// insertEdgesLocked is InsertEdges' guarded body: poisoned fast-fail, then
+// the staged batch with panic containment — a panic anywhere in the engine
+// stack poisons the forest and every result slot reports the PoisonError
+// (the journal, written only post-commit below, treats the batch as never
+// applied).
+func (f *Forest) insertEdgesLocked(edges []Edge) (errs []error) {
+	if pe := f.poison.Load(); pe != nil {
+		return poisonErrs(len(edges), pe)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			errs = poisonErrs(len(edges), f.poisonWith("insert-batch", r))
+		}
+	}()
 	defer f.absorbSpars()()
-	errs := make([]error, len(edges))
+	errs = make([]error, len(edges))
 	// Validation kernel: one EREW round, one processor per item, each
 	// writing only its own errs cell.
 	f.ch.ParDo(len(edges), func(i int) {
@@ -596,6 +812,13 @@ func (f *Forest) InsertEdges(edges []Edge) []error {
 			if err != nil {
 				errs[items[i].Idx] = mapBatchInsertErr(err)
 				failed++
+			}
+		}
+		// Commit point: the engine batch fully applied; record the accepted
+		// edges in the live-edge journal.
+		for i, it := range items {
+			if errs[items[i].Idx] == nil {
+				f.jour[jkey(it.A, it.B)] = it.Key
 			}
 		}
 	} else {
@@ -643,9 +866,24 @@ func (f *Forest) DeleteEdges(keys []EdgeKey) []error {
 		return nil
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
+	errs := f.deleteEdgesLocked(keys)
+	f.mu.Unlock()
+	f.maybeAutoRecoverBatch(errs)
+	return errs
+}
+
+// deleteEdgesLocked is DeleteEdges' guarded body (see insertEdgesLocked).
+func (f *Forest) deleteEdgesLocked(keys []EdgeKey) (errs []error) {
+	if pe := f.poison.Load(); pe != nil {
+		return poisonErrs(len(keys), pe)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			errs = poisonErrs(len(keys), f.poisonWith("delete-batch", r))
+		}
+	}()
 	defer f.absorbSpars()()
-	errs := make([]error, len(keys))
+	errs = make([]error, len(keys))
 	canon := make([]EdgeKey, len(keys))
 	f.ch.ParDo(len(keys), func(i int) {
 		k := keys[i]
@@ -675,6 +913,12 @@ func (f *Forest) DeleteEdges(keys []EdgeKey) []error {
 			if err != nil {
 				errs[bki[j]] = ErrNotFound
 				failed++
+			}
+		}
+		// Commit point: drop the deleted edges from the live-edge journal.
+		for j, k := range bk {
+			if errs[bki[j]] == nil {
+				delete(f.jour, k)
 			}
 		}
 	} else {
@@ -728,6 +972,79 @@ func (f *Forest) Close() {
 		f.spars.Spawn = nil // batches keep working, inline
 		f.tasks = nil
 	}
+}
+
+// Recover rebuilds a poisoned forest from the live-edge journal: the
+// poisoned engine stack is torn down and a fresh one is constructed on the
+// same worker machinery, then the journal — exactly the committed state,
+// with the failed batch rolled back — reloads through the bulk
+// constructor's path (static filter-Kruskal classification + engine bulk
+// load, or the sparsification tree's bulk node routing). The snapshot
+// publisher is retained, so the recovered forest publishes one rebased
+// epoch after the last pre-poison epoch — readers observe the poison
+// window as an ordinary quiet period followed by one (possibly large)
+// delta, never a backward or inconsistent view — and the ingest plane
+// resumes admitting submissions.
+//
+// No-op on a healthy forest. If the rebuild itself fails, the forest stays
+// poisoned (with the original PoisonError) and the rebuild's error is
+// returned. Deterministic: the recovered forest is bit-identical (edges,
+// weight, components) to one that never applied the failed batch.
+func (f *Forest) Recover() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.poison.Load() == nil {
+		return nil
+	}
+	f.buildEngine()
+	f.dirty = false
+	f.dc.reset()
+	edges := make([]Edge, 0, len(f.jour))
+	for k, w := range f.jour {
+		edges = append(edges, Edge{U: k[0], V: k[1], W: w})
+	}
+	// The journal is a set; load in ascending (W, U, V) so the rebuild's
+	// tie-breaks match the incremental path's canonical order.
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.W != b.W {
+			return a.W < b.W
+		}
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	if err := f.reload(edges); err != nil {
+		return err
+	}
+	f.poison.Store(nil)
+	f.publish()
+	return nil
+}
+
+// reload drives the journal's edge set through the bulk load path with
+// publication suppressed, containing any panic the rebuild itself throws
+// (an armed one-shot fault point cannot re-trip, but a real persistent
+// fault can — the forest then stays poisoned rather than looping).
+func (f *Forest) reload(edges []Edge) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("parmsf: recovery rebuild panicked: %v", r)
+		}
+	}()
+	f.suppress = true
+	defer func() { f.suppress = false }()
+	defer f.absorbSpars()()
+	errs := make([]error, len(edges))
+	if failed := f.loadAccepted(edges, errs); failed != 0 {
+		for _, e := range errs {
+			if e != nil {
+				return fmt.Errorf("parmsf: recovery rebuild rejected a journaled edge: %w", e)
+			}
+		}
+	}
+	return nil
 }
 
 // Snapshot returns the current epoch's immutable view of the forest:
@@ -796,6 +1113,9 @@ type Update struct {
 // updates are already waiting (backpressure). After Close the returned
 // Pending resolves immediately with ErrClosed.
 func (f *Forest) Submit(up Update) *Pending {
+	if pe := f.poison.Load(); pe != nil {
+		return ingest.NewFailed(pe)
+	}
 	q := f.queue()
 	if q == nil {
 		return ingest.NewFailed(ErrClosed)
@@ -815,6 +1135,13 @@ func (f *Forest) Submit(up Update) *Pending {
 func (f *Forest) SubmitBatch(ups []Update) []*Pending {
 	if len(ups) == 0 {
 		return nil
+	}
+	if pe := f.poison.Load(); pe != nil {
+		ps := make([]*Pending, len(ups))
+		for i := range ps {
+			ps[i] = ingest.NewFailed(pe)
+		}
+		return ps
 	}
 	ops := make([]ingest.Op, len(ups))
 	for i, up := range ups {
@@ -862,19 +1189,42 @@ func (f *Forest) IngestStats() (ops, batches uint64) {
 	return st.Ops, st.Batches
 }
 
-// queue lazily starts the ingest drainer; nil after Close.
+// queue lazily starts the ingest drainer; nil after Close. The queue
+// carries the package's own sentinels (ErrClosed, ErrQueueFull, ErrTimeout)
+// and the configured admission policy, so futures and Flush results need no
+// translation layer.
 func (f *Forest) queue() *ingest.Queue {
 	f.qmu.Lock()
 	defer f.qmu.Unlock()
 	if f.q == nil && !f.qclosed {
-		f.q = ingest.New(&f.qa, f.qopts[0], f.qopts[1])
+		f.q = ingest.NewWithConfig(&f.qa, ingest.Config{
+			Depth:         f.opt.QueueDepth,
+			MaxBatch:      f.opt.MaxBatch,
+			Policy:        ingest.SubmitPolicy(f.opt.SubmitPolicy),
+			SubmitTimeout: f.opt.SubmitTimeout,
+			FlushTimeout:  f.opt.FlushTimeout,
+			ClosedErr:     ErrClosed,
+			FullErr:       ErrQueueFull,
+			TimeoutErr:    ErrTimeout,
+		})
 	}
 	return f.q
 }
 
+// fpIngestApply is the drainer-side crash point: it fires on the ingest
+// drainer goroutine, before the coalesced run reaches the engine,
+// exercising the path where poisoning originates off the mutator
+// goroutines and every queued future must still resolve.
+var fpIngestApply = faultinject.Register("ingest/apply")
+
 // queueApplier adapts the forest's synchronous batch entry points to the
 // ingest drainer's sink, reusing one conversion buffer per kind (the
-// drainer is a single goroutine).
+// drainer is a single goroutine). Engine panics are contained inside
+// InsertEdges/DeleteEdges; the recover here is the drainer-side boundary
+// for faults outside that containment (the ingest/apply crash point, or
+// conversion bugs) — the drainer goroutine must survive and resolve the
+// run's futures, so a panic poisons the forest and fails the run's ops
+// with the PoisonError.
 type queueApplier struct {
 	f     *Forest
 	edges []Edge
@@ -883,6 +1233,18 @@ type queueApplier struct {
 
 // ApplyInserts implements ingest.Applier.
 func (a *queueApplier) ApplyInserts(ops []ingest.Op) []error {
+	errs := a.applyInserts(ops)
+	a.f.maybeAutoRecoverBatch(errs)
+	return errs
+}
+
+func (a *queueApplier) applyInserts(ops []ingest.Op) (errs []error) {
+	defer func() {
+		if r := recover(); r != nil {
+			errs = poisonErrs(len(ops), a.f.poisonWith("ingest", r))
+		}
+	}()
+	a.f.fault.Hit(fpIngestApply)
 	a.edges = a.edges[:0]
 	for _, op := range ops {
 		a.edges = append(a.edges, Edge{U: op.U, V: op.V, W: op.W})
@@ -892,6 +1254,18 @@ func (a *queueApplier) ApplyInserts(ops []ingest.Op) []error {
 
 // ApplyDeletes implements ingest.Applier.
 func (a *queueApplier) ApplyDeletes(ops []ingest.Op) []error {
+	errs := a.applyDeletes(ops)
+	a.f.maybeAutoRecoverBatch(errs)
+	return errs
+}
+
+func (a *queueApplier) applyDeletes(ops []ingest.Op) (errs []error) {
+	defer func() {
+		if r := recover(); r != nil {
+			errs = poisonErrs(len(ops), a.f.poisonWith("ingest", r))
+		}
+	}()
+	a.f.fault.Hit(fpIngestApply)
 	a.keys = a.keys[:0]
 	for _, op := range ops {
 		a.keys = append(a.keys, EdgeKey{U: op.U, V: op.V})
@@ -907,9 +1281,14 @@ func (f *Forest) PRAM() *pram.Machine { return f.mach }
 // (the weaker sister problem discussed in Section 1 of the paper): all
 // edges carry equal weight, so the structure maintains some spanning
 // forest and Connected/Components answer connectivity queries with the
-// same worst-case update bounds. Use InsertUnweighted/Delete.
-func NewConnectivity(n int, opt Options) *Connectivity {
-	return &Connectivity{f: New(n, opt)}
+// same worst-case update bounds. Use InsertUnweighted/Delete. Errors as
+// with New.
+func NewConnectivity(n int, opt Options) (*Connectivity, error) {
+	f, err := New(n, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Connectivity{f: f}, nil
 }
 
 // Connectivity is a dynamic-connectivity view over the MSF structure.

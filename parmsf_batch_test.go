@@ -40,8 +40,8 @@ func sameForest(t *testing.T, a, b *Forest, label string) {
 func TestInsertEdgesMatchesSingles(t *testing.T) {
 	const n = 64
 	base := workload.RandomSparse(n, 2*n, 42)
-	one := New(n, Options{})
-	bat := New(n, Options{})
+	one := MustNew(n, Options{})
+	bat := MustNew(n, Options{})
 	var edges []Edge
 	for _, e := range base {
 		mustIns(t, one, e.U, e.V, e.W)
@@ -54,7 +54,7 @@ func TestInsertEdgesMatchesSingles(t *testing.T) {
 }
 
 func TestInsertEdgesErrors(t *testing.T) {
-	f := New(8, Options{})
+	f := MustNew(8, Options{})
 	errs := f.InsertEdges([]Edge{
 		{0, 1, 10},            // ok
 		{1, 1, 5},             // self loop
@@ -82,7 +82,7 @@ func TestInsertEdgesSortsByWeight(t *testing.T) {
 	// A batch holding a triangle whose lightest edge comes last: weight
 	// ordering must leave the heaviest triangle edge out of the forest,
 	// same as any insertion order, but without ever promoting it.
-	f := New(4, Options{})
+	f := MustNew(4, Options{})
 	if errs := f.InsertEdges([]Edge{{0, 1, 30}, {1, 2, 20}, {0, 2, 10}}); errs != nil {
 		t.Fatalf("errors: %v", errs)
 	}
@@ -96,7 +96,7 @@ func TestInsertEdgesSortsByWeight(t *testing.T) {
 
 func TestDeleteEdges(t *testing.T) {
 	const n = 16
-	f := New(n, Options{})
+	f := MustNew(n, Options{})
 	mustIns(t, f, 0, 1, 5)
 	mustIns(t, f, 1, 2, 6)
 	mustIns(t, f, 2, 3, 7)
@@ -130,11 +130,11 @@ func TestDeleteEdges(t *testing.T) {
 // executor's kernels are data-race free.
 func TestBatchParityAcrossBackends(t *testing.T) {
 	const n = 2048
-	plain := New(n, Options{})
-	sim := New(n, Options{Parallel: true})
+	plain := MustNew(n, Options{})
+	sim := MustNew(n, Options{Parallel: true})
 	machined := []*Forest{sim}
 	for _, w := range []int{1, 2, 4} {
-		pf := New(n, Options{Workers: w})
+		pf := MustNew(n, Options{Workers: w})
 		defer pf.Close()
 		machined = append(machined, pf)
 	}
@@ -230,12 +230,12 @@ func TestBatchParityAcrossBackends(t *testing.T) {
 }
 
 func TestForestCloseIdempotent(t *testing.T) {
-	f := New(8, Options{Workers: 2})
+	f := MustNew(8, Options{Workers: 2})
 	f.Close()
 	f.Close()
 	// Still usable after Close: kernels fall back to sequential.
 	if errs := f.InsertEdges([]Edge{{0, 1, 5}}); errs != nil {
 		t.Fatalf("insert after Close: %v", errs)
 	}
-	New(8, Options{}).Close() // Close on a sequential forest is a no-op
+	MustNew(8, Options{}).Close() // Close on a sequential forest is a no-op
 }

@@ -39,14 +39,16 @@ import (
 // there.
 //
 // The returned error slice is nil when every edge loaded; otherwise it has
-// one entry per input edge (nil on success). The result is deterministic:
-// for one input it is bit-identical across Workers values and equal to
-// inserting the accepted edges with InsertEdges (or per-edge in ascending
-// (W, U, V) order); ties between equal-weight edges resolve by the (W, U,
-// V, index) order of the input, as with InsertEdges.
-func Build(n int, edges []Edge, opt Options) (*Forest, []error) {
+// one entry per input edge (nil on success). The final error is non-nil
+// only when no forest could be constructed at all: ErrTooFewVertices for
+// n < 2, or a malformed Options.FaultPoints spec (as with New). The result
+// is deterministic: for one input it is bit-identical across Workers values
+// and equal to inserting the accepted edges with InsertEdges (or per-edge
+// in ascending (W, U, V) order); ties between equal-weight edges resolve by
+// the (W, U, V, index) order of the input, as with InsertEdges.
+func Build(n int, edges []Edge, opt Options) (*Forest, []error, error) {
 	if n < 2 {
-		panic("parmsf: need at least two vertices")
+		return nil, nil, ErrTooFewVertices
 	}
 	errs := make([]error, len(edges))
 	failed := 0
@@ -79,19 +81,49 @@ func Build(n int, edges []Edge, opt Options) (*Forest, []error) {
 	if opt.MaxEdges < accepted {
 		opt.MaxEdges = accepted
 	}
-	f := New(n, opt)
+	f, err := New(n, opt)
+	if err != nil {
+		return nil, nil, err
+	}
 	if accepted == 0 {
 		if failed == 0 {
-			return f, nil
+			return f, nil, nil
 		}
-		return f, errs
+		return f, errs, nil
 	}
 	defer f.absorbSpars()()
-	items := make([]batch.Item, 0, accepted)
+	failed += f.loadAccepted(edges, errs)
+	if failed == 0 {
+		return f, nil, nil
+	}
+	return f, errs, nil
+}
+
+// MustBuild is Build for static inputs known to construct: it panics on a
+// construction error (tests, examples). The per-edge error slice is
+// returned as with Build.
+func MustBuild(n int, edges []Edge, opt Options) (*Forest, []error) {
+	f, errs, err := Build(n, edges, opt)
+	if err != nil {
+		panic(err)
+	}
+	return f, errs
+}
+
+// loadAccepted drives the accepted subset of edges (errs[i] == nil) through
+// the static bulk-load path, recording engine rejections in errs and
+// journaling every loaded edge. It is the loader shared by Build and
+// Recover's reload; the caller holds the engine exclusively and has
+// arranged absorbSpars.
+func (f *Forest) loadAccepted(edges []Edge, errs []error) (failed int) {
+	items := make([]batch.Item, 0, len(edges))
 	for i, e := range edges {
 		if errs[i] == nil {
 			items = append(items, batch.Item{Key: e.W, A: e.U, B: e.V, Idx: i})
 		}
+	}
+	if len(items) == 0 {
+		return 0
 	}
 	if f.spars != nil {
 		// Sparsification path: the batch enters the Section 5 tree sorted —
@@ -114,7 +146,7 @@ func Build(n int, edges []Edge, opt Options) (*Forest, []error) {
 	} else {
 		var sc buildScratch
 		isTree := make([]bool, len(edges))
-		treeOrdered := sc.classify(n, items, isTree, f.mach, f.ch)
+		treeOrdered := sc.classify(f.n, items, isTree, f.mach, f.ch)
 		// Load order: tree edges ascending (concatenated Kruskal rounds are
 		// globally sorted), then the non-tree remainder in input order — the
 		// non-tree fast path is order-independent, so no sort is spent on
@@ -142,10 +174,14 @@ func Build(n int, edges []Edge, opt Options) (*Forest, []error) {
 			}
 		}
 	}
-	if failed == 0 {
-		return f, nil
+	// Commit point: journal what loaded (idempotent under reload, where the
+	// journal itself was the source).
+	for i, e := range edges {
+		if errs[i] == nil {
+			f.jour[jkey(e.U, e.V)] = e.W
+		}
 	}
-	return f, errs
+	return failed
 }
 
 // buildScratch pools the filter-Kruskal classification state across rounds

@@ -92,7 +92,7 @@ func TestBuildMatchesReplay(t *testing.T) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			n := 240
-			ref := New(n, Options{MaxEdges: len(tc.edges) + 8})
+			ref := MustNew(n, Options{MaxEdges: len(tc.edges) + 8})
 			if errs := ref.InsertEdges(tc.edges); errs != nil {
 				for _, err := range errs {
 					if err != nil {
@@ -115,7 +115,7 @@ func TestBuildMatchesReplay(t *testing.T) {
 			}
 
 			for _, cfg := range buildConfigs {
-				f, errs := Build(n, tc.edges, cfg.opt)
+				f, errs := MustBuild(n, tc.edges, cfg.opt)
 				if errs != nil {
 					for i, err := range errs {
 						if err != nil {
@@ -164,7 +164,7 @@ func TestBuildRejects(t *testing.T) {
 		{U: 3, V: 2, W: 11},            // duplicate
 		{U: 0, V: 2, W: 13},            // ok
 	}
-	f, errs := Build(4, edges, Options{})
+	f, errs := MustBuild(4, edges, Options{})
 	defer f.Close()
 	if errs == nil {
 		t.Fatal("want per-edge errors")
@@ -181,14 +181,14 @@ func TestBuildRejects(t *testing.T) {
 
 	// MaxEdges below the accepted count is raised, not an error.
 	many := toEdges(workload.RandomSparse(64, 256, 77))
-	g, errs2 := Build(64, many, Options{MaxEdges: 1})
+	g, errs2 := MustBuild(64, many, Options{MaxEdges: 1})
 	if errs2 != nil {
 		t.Fatalf("capacity raise failed: %v", errs2)
 	}
 	g.Close()
 
 	// Empty build: no edges accepted, epoch stays at the initial snapshot.
-	h, errs3 := Build(8, nil, Options{})
+	h, errs3 := MustBuild(8, nil, Options{})
 	if errs3 != nil {
 		t.Fatal("empty build errs")
 	}
@@ -207,7 +207,7 @@ func TestBuildThenMutate(t *testing.T) {
 	const n = 120
 	base := workload.RandomSparse(n, 3*n, 55)
 	for _, cfg := range []Options{{}, {Workers: 2}, {Sparsify: true}} {
-		f, errs := Build(n, toEdges(base), cfg)
+		f, errs := MustBuild(n, toEdges(base), cfg)
 		if errs != nil {
 			t.Fatal("build errs")
 		}
@@ -264,7 +264,7 @@ func TestBuildThenMutate(t *testing.T) {
 // bulk-loads tree nodes instead of streaming per-edge inserts.
 func TestBuildSparsifyBulkRouting(t *testing.T) {
 	const n = 200
-	f, errs := Build(n, toEdges(workload.RandomSparse(n, 4*n, 91)), Options{Sparsify: true})
+	f, errs := MustBuild(n, toEdges(workload.RandomSparse(n, 4*n, 91)), Options{Sparsify: true})
 	if errs != nil {
 		t.Fatal("build errs")
 	}
@@ -283,7 +283,7 @@ func TestBuildSparsifyBulkRouting(t *testing.T) {
 func TestBuildClassifyWarmAllocs(t *testing.T) {
 	const n = 256
 	es := workload.RandomSparse(n, 6*n, 17)
-	f := New(n, Options{})
+	f := MustNew(n, Options{})
 	defer f.Close()
 	var sc buildScratch
 	isTree := make([]bool, len(es))

@@ -63,7 +63,7 @@ func TestConcurrentReadersDuringBatches(t *testing.T) {
 			const n = 96
 			const readers = 4
 			const rounds = 25
-			f := New(n, Options{
+			f := MustNew(n, Options{
 				Sparsify: opt.Sparsify, Workers: opt.Workers,
 				MaxEdges: 8 * n,
 			})
@@ -196,7 +196,7 @@ func TestConcurrentReadersDuringBatches(t *testing.T) {
 // the forest (a heavier cycle-closing edge arriving and leaving) publish
 // nothing.
 func TestSnapshotImmutabilityAcrossUpdates(t *testing.T) {
-	f := New(8, Options{})
+	f := MustNew(8, Options{})
 	defer f.Close()
 	mustIns := func(u, v int, w Weight) {
 		t.Helper()
@@ -250,7 +250,7 @@ func TestSubmitFlushIngest(t *testing.T) {
 	const n = 64
 	const producers = 4
 	const perProducer = 40
-	f := New(n, Options{MaxEdges: 8 * n, QueueDepth: 64, MaxBatch: 32})
+	f := MustNew(n, Options{MaxEdges: 8 * n, QueueDepth: 64, MaxBatch: 32})
 	defer f.Close()
 
 	// Producer p owns vertex stripe [p*16, p*16+16): disjoint edges, no
@@ -340,7 +340,7 @@ func TestSubmitFlushIngest(t *testing.T) {
 // TestFlushWithoutSubmit pins that Flush on a never-submitted forest is a
 // true no-op: no drainer goroutine is started and no queue is built.
 func TestFlushWithoutSubmit(t *testing.T) {
-	f := New(4, Options{})
+	f := MustNew(4, Options{})
 	defer f.Close()
 	if err := f.Flush(); err != nil {
 		t.Fatalf("Flush on idle forest: %v", err)
@@ -356,7 +356,7 @@ func TestFlushWithoutSubmit(t *testing.T) {
 // consistency while the coalescing drainer streams engine batches.
 func TestConcurrentSubmitWithReaders(t *testing.T) {
 	const n = 128
-	f := New(n, Options{Sparsify: true, Workers: 2, QueueDepth: 128, MaxBatch: 64})
+	f := MustNew(n, Options{Sparsify: true, Workers: 2, QueueDepth: 128, MaxBatch: 64})
 	defer f.Close()
 
 	var fail atomic.Value

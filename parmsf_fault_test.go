@@ -1,0 +1,754 @@
+package parmsf
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parmsf/internal/baseline"
+	"parmsf/internal/xrand"
+)
+
+// TestFaultPointsRegistry pins the registry of named crash points: a new
+// fault point added to the serving plane must be listed here (and thereby
+// join the CI injection matrix), and a renamed or dropped point fails
+// loudly instead of silently leaving a code path uninjected.
+func TestFaultPointsRegistry(t *testing.T) {
+	want := []string{
+		"core/apply-batch",
+		"ingest/apply",
+		"snapshot/publish",
+		"sparsify/node-task",
+		"sparsify/run-batch",
+		"ternary/batch-delete",
+		"ternary/batch-insert",
+	}
+	got := FaultPoints()
+	if len(got) != len(want) {
+		t.Fatalf("FaultPoints() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FaultPoints()[%d] = %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// faultChurn is the shared driver for the recovery-parity suite: one
+// forest with an armed crash point and one unfailed twin receive an
+// identical update stream (with a Kruskal reference alongside). When the
+// armed point fires the driver asserts the full containment contract —
+// typed errors, fail-fast mutators, frozen read plane — then recovers,
+// verifies bit-identical parity against the twin (which never saw the
+// failed batch), re-applies the failed batch to both, and keeps churning
+// so post-recovery behavior is exercised too.
+type faultChurn struct {
+	t       *testing.T
+	n       int
+	f, twin *Forest
+	ref     *baseline.Kruskal
+	rng     *xrand.RNG
+	live    [][2]int
+	seen    map[[2]int]bool
+	nextW   int64
+	fired   bool
+}
+
+func newFaultChurn(t *testing.T, n int, opt Options) *faultChurn {
+	t.Helper()
+	// FaultPoints: []string{} pins both forests disarmed regardless of any
+	// PARMSF_FAULT in the environment; the suite arms explicitly via
+	// ArmFault so the twin can never trip.
+	opt.FaultPoints = []string{}
+	c := &faultChurn{
+		t:     t,
+		n:     n,
+		f:     MustNew(n, opt),
+		twin:  MustNew(n, opt),
+		ref:   baseline.NewKruskal(n),
+		rng:   xrand.New(uint64(n)*2654435761 + 17),
+		seen:  map[[2]int]bool{},
+		nextW: 100,
+	}
+	return c
+}
+
+func (c *faultChurn) close() {
+	c.f.Close()
+	c.twin.Close()
+}
+
+func (c *faultChurn) newEdge() Edge {
+	for {
+		u, v := c.rng.Intn(c.n), c.rng.Intn(c.n)
+		if u == v {
+			continue
+		}
+		k := jkey(u, v)
+		if c.seen[k] {
+			continue
+		}
+		c.seen[k] = true
+		c.live = append(c.live, k)
+		w := Weight(c.nextW)
+		c.nextW++
+		return Edge{U: u, V: v, W: w}
+	}
+}
+
+func (c *faultChurn) pickDeletions(count int) []EdgeKey {
+	var del []EdgeKey
+	for i := 0; i < count && len(c.live) > 0; i++ {
+		j := c.rng.Intn(len(c.live))
+		k := c.live[j]
+		c.live[j] = c.live[len(c.live)-1]
+		c.live = c.live[:len(c.live)-1]
+		delete(c.seen, k)
+		del = append(del, EdgeKey{U: k[0], V: k[1]})
+	}
+	return del
+}
+
+func (c *faultChurn) epoch(f *Forest) uint64 {
+	s := f.Snapshot()
+	defer s.Release()
+	return s.Epoch()
+}
+
+func allNil(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// onPoison asserts the complete poisoned-forest contract and recovers.
+func (c *faultChurn) onPoison(stage string, errs []error, pe *PoisonError) {
+	t := c.t
+	t.Helper()
+	c.fired = true
+	// Every slot of the failed batch resolves with the poison error.
+	for i, err := range errs {
+		if !errors.Is(err, ErrPoisoned) {
+			t.Fatalf("%s: errs[%d] = %v, want ErrPoisoned", stage, i, err)
+		}
+	}
+	if !errors.Is(pe, ErrPoisoned) {
+		t.Fatalf("%s: Poisoned() does not satisfy errors.Is(_, ErrPoisoned): %v", stage, pe)
+	}
+	var as *PoisonError
+	if !errors.As(pe, &as) || as.Stage == "" || len(as.Stack) == 0 {
+		t.Fatalf("%s: PoisonError missing stage/stack: %+v", stage, as)
+	}
+	// Mutators and submissions fail fast without further damage.
+	if err := c.f.Insert(0, 1, Weight(c.nextW)); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("%s: Insert on poisoned forest = %v, want ErrPoisoned", stage, err)
+	}
+	if err := c.f.Delete(0, 1); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("%s: Delete on poisoned forest = %v, want ErrPoisoned", stage, err)
+	}
+	if err := allNil(c.f.InsertEdges([]Edge{{U: 0, V: 1, W: Weight(c.nextW)}})); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("%s: InsertEdges on poisoned forest = %v, want ErrPoisoned", stage, err)
+	}
+	if err := c.f.Submit(Update{U: 0, V: 1, W: Weight(c.nextW)}).Wait(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("%s: Submit on poisoned forest resolved %v, want ErrPoisoned", stage, err)
+	}
+	// The read plane keeps serving the last published epoch: consistent,
+	// and frozen while the forest stays poisoned (the failed mutator
+	// attempts above published nothing).
+	e1 := c.epoch(c.f)
+	s := c.f.Snapshot()
+	if msg := checkSnapshotConsistent(s, c.n); msg != "" {
+		t.Fatalf("%s: poisoned-forest snapshot inconsistent: %s", stage, msg)
+	}
+	s.Release()
+	if e2 := c.epoch(c.f); e2 != e1 {
+		t.Fatalf("%s: epoch advanced %d -> %d while poisoned", stage, e1, e2)
+	}
+	// Recover rebuilds from the journal; the failed batch was never
+	// journaled, so the result must be bit-identical to the twin, which
+	// never applied it.
+	if err := c.f.Recover(); err != nil {
+		t.Fatalf("%s: Recover: %v", stage, err)
+	}
+	if c.f.Poisoned() != nil {
+		t.Fatalf("%s: still poisoned after Recover", stage)
+	}
+	if e3 := c.epoch(c.f); e3 < e1 {
+		t.Fatalf("%s: epoch moved backward across Recover: %d -> %d", stage, e1, e3)
+	}
+	sameForest(t, c.f, c.twin, stage+": post-recover parity vs unfailed twin")
+}
+
+func (c *faultChurn) insert(stage string, batch []Edge) {
+	t := c.t
+	t.Helper()
+	errs := c.f.InsertEdges(batch)
+	if pe := c.f.Poisoned(); pe != nil {
+		c.onPoison(stage, errs, pe)
+		errs = c.f.InsertEdges(batch) // recovered: the batch applies cleanly now
+	}
+	if err := allNil(errs); err != nil {
+		t.Fatalf("%s: faulty-forest insert: %v", stage, err)
+	}
+	if err := allNil(c.twin.InsertEdges(batch)); err != nil {
+		t.Fatalf("%s: twin insert: %v", stage, err)
+	}
+	for _, e := range batch {
+		if err := c.ref.InsertEdge(e.U, e.V, int64(e.W)); err != nil {
+			t.Fatalf("%s: reference insert: %v", stage, err)
+		}
+	}
+}
+
+func (c *faultChurn) remove(stage string, batch []EdgeKey) {
+	t := c.t
+	t.Helper()
+	if len(batch) == 0 {
+		return
+	}
+	errs := c.f.DeleteEdges(batch)
+	if pe := c.f.Poisoned(); pe != nil {
+		c.onPoison(stage, errs, pe)
+		errs = c.f.DeleteEdges(batch)
+	}
+	if err := allNil(errs); err != nil {
+		t.Fatalf("%s: faulty-forest delete: %v", stage, err)
+	}
+	if err := allNil(c.twin.DeleteEdges(batch)); err != nil {
+		t.Fatalf("%s: twin delete: %v", stage, err)
+	}
+	for _, k := range batch {
+		if err := c.ref.DeleteEdge(k.U, k.V); err != nil {
+			t.Fatalf("%s: reference delete: %v", stage, err)
+		}
+	}
+}
+
+func (c *faultChurn) finalChecks() {
+	t := c.t
+	t.Helper()
+	sameForest(t, c.f, c.twin, "final parity")
+	if c.f.Weight() != Weight(c.ref.Weight()) || c.f.Size() != c.ref.ForestSize() {
+		t.Fatalf("final vs Kruskal: (w=%d,s=%d) vs (w=%d,s=%d)",
+			c.f.Weight(), c.f.Size(), c.ref.Weight(), c.ref.ForestSize())
+	}
+	// Partition bijection against the reference: same-component in the
+	// forest iff same-component under Kruskal.
+	s := c.f.Snapshot()
+	defer s.Release()
+	for u := 1; u < c.n; u++ {
+		if s.Connected(0, u) != c.ref.Connected(0, u) {
+			t.Fatalf("final partition: Connected(0,%d) diverges from reference", u)
+		}
+	}
+}
+
+// faultConfigs enumerates the engine configurations of the recovery suite
+// alongside the crash points reachable in each.
+func faultConfigs() []struct {
+	name   string
+	opt    Options
+	points []string
+} {
+	flat := []string{"core/apply-batch", "ternary/batch-insert", "ternary/batch-delete", "snapshot/publish"}
+	spars := append(append([]string{}, flat...), "sparsify/run-batch", "sparsify/node-task")
+	return []struct {
+		name   string
+		opt    Options
+		points []string
+	}{
+		{"default", Options{MaxEdges: 1024}, flat},
+		{"workers", Options{MaxEdges: 1024, Workers: 2}, flat},
+		{"sparsify-workers", Options{Sparsify: true, Workers: 2}, spars},
+	}
+}
+
+// TestFaultRecoveryParity is the core acceptance test of the containment
+// design: for every registered synchronous crash point, in every engine
+// configuration where it is reachable, an injected panic mid-churn must
+// poison the forest (typed errors, fail-fast mutators, frozen-but-serving
+// read plane) and Recover must restore a forest bit-identical to an
+// unfailed twin — after which the failed batch re-applies cleanly and the
+// stream continues to a final three-way parity check (twin + Kruskal).
+func TestFaultRecoveryParity(t *testing.T) {
+	// The CI injection matrix sets PARMSF_FAULT to one point per job; the
+	// suite then runs exactly that point (the forests themselves are
+	// constructed env-disarmed and armed explicitly, so the sweep selects
+	// rather than double-arms). Unset, every point runs.
+	only := ""
+	if spec := os.Getenv("PARMSF_FAULT"); spec != "" {
+		only = strings.SplitN(strings.SplitN(spec, ",", 2)[0], ":", 2)[0]
+	}
+	for _, cfg := range faultConfigs() {
+		for _, point := range cfg.points {
+			if only != "" && point != only {
+				continue
+			}
+			t.Run(cfg.name+"/"+point, func(t *testing.T) {
+				const n = 48
+				c := newFaultChurn(t, n, cfg.opt)
+				defer c.close()
+
+				base := make([]Edge, 0, 2*n)
+				for i := 0; i < 2*n; i++ {
+					base = append(base, c.newEdge())
+				}
+				c.insert("base load", base)
+
+				if err := c.f.ArmFault(point); err != nil {
+					t.Fatalf("ArmFault(%q): %v", point, err)
+				}
+				for round := 0; round < 24 && !c.fired; round++ {
+					var ins []Edge
+					for i := 0; i < 10; i++ {
+						ins = append(ins, c.newEdge())
+					}
+					c.insert(fmt.Sprintf("round %d insert", round), ins)
+					c.remove(fmt.Sprintf("round %d delete", round), c.pickDeletions(6))
+				}
+				if !c.fired {
+					t.Fatalf("armed fault point %q never fired", point)
+				}
+				// Post-recovery churn: the recovered engine keeps pace with
+				// the twin under further inserts and deletes.
+				for round := 0; round < 4; round++ {
+					var ins []Edge
+					for i := 0; i < 8; i++ {
+						ins = append(ins, c.newEdge())
+					}
+					c.insert(fmt.Sprintf("post-recovery round %d insert", round), ins)
+					c.remove(fmt.Sprintf("post-recovery round %d delete", round), c.pickDeletions(5))
+				}
+				c.finalChecks()
+			})
+		}
+	}
+}
+
+// TestFaultRecoveryIngest injects the drainer-side crash point: every
+// in-flight future must resolve with ErrPoisoned (none may hang), the
+// drainer goroutine must survive the poisoning, and after Recover the
+// same updates resubmit and apply, restoring parity with a twin that took
+// the stream synchronously.
+func TestFaultRecoveryIngest(t *testing.T) {
+	const n = 32
+	opt := Options{MaxEdges: 1024, QueueDepth: 16, MaxBatch: 8, FaultPoints: []string{}}
+	f := MustNew(n, opt)
+	defer f.Close()
+	twin := MustNew(n, opt)
+	defer twin.Close()
+
+	var base []Edge
+	for i := 0; i+1 < n; i++ {
+		base = append(base, Edge{U: i, V: i + 1, W: Weight(10 + i)})
+	}
+	if err := allNil(f.InsertEdges(base)); err != nil {
+		t.Fatal(err)
+	}
+	if err := allNil(twin.InsertEdges(base)); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := f.ArmFault("ingest/apply"); err != nil {
+		t.Fatal(err)
+	}
+	ups := make([]Update, 0, n/2)
+	for i := 0; i+2 < n; i += 2 {
+		ups = append(ups, Update{U: i, V: i + 2, W: Weight(1000 + i)})
+	}
+	ps := f.SubmitBatch(ups)
+	if err := f.Flush(); err != nil {
+		t.Fatalf("Flush over a poisoning batch: %v", err)
+	}
+	for i, p := range ps {
+		if err := p.Wait(); !errors.Is(err, ErrPoisoned) {
+			t.Fatalf("future %d resolved %v, want ErrPoisoned", i, err)
+		}
+	}
+	// The queue survives: a post-poison submission fails fast, it does not
+	// hang or crash the drainer.
+	if err := f.Submit(Update{U: 0, V: 4, W: 9999}).Wait(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("post-poison Submit resolved %v, want ErrPoisoned", err)
+	}
+	if f.Poisoned() == nil {
+		t.Fatal("forest not poisoned after drainer panic")
+	}
+	if err := f.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	// Resubmit the failed updates through the same queue; they apply now.
+	for i, p := range f.SubmitBatch(ups) {
+		if p == nil {
+			t.Fatalf("nil pending %d", i)
+		}
+		defer func(i int, p *Pending) {
+			if err := p.Err(); err != nil {
+				t.Fatalf("resubmitted future %d: %v", i, err)
+			}
+		}(i, p)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatalf("post-recovery Flush: %v", err)
+	}
+	syncBatch := make([]Edge, len(ups))
+	for i, up := range ups {
+		syncBatch[i] = Edge{U: up.U, V: up.V, W: up.W}
+	}
+	if err := allNil(twin.InsertEdges(syncBatch)); err != nil {
+		t.Fatal(err)
+	}
+	sameForest(t, f, twin, "ingest recovery parity")
+}
+
+// TestPoisonedKeepsServing runs reader goroutines straight through a
+// poison -> recover window: every observed snapshot must be internally
+// consistent and epochs monotone per reader — the read plane never sees
+// the crash, only a quiet period followed by one delta.
+func TestPoisonedKeepsServing(t *testing.T) {
+	const n = 64
+	f := MustNew(n, Options{MaxEdges: 1024, FaultPoints: []string{}})
+	defer f.Close()
+
+	var fail atomic.Value
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := f.Snapshot()
+				if e := s.Epoch(); e < last {
+					fail.Store(fmt.Sprintf("epoch moved backward: %d -> %d", last, e))
+					s.Release()
+					return
+				} else {
+					last = e
+				}
+				if msg := checkSnapshotConsistent(s, n); msg != "" {
+					fail.Store(msg)
+					s.Release()
+					return
+				}
+				s.Release()
+			}
+		}()
+	}
+
+	rng := xrand.New(71)
+	seen := map[[2]int]bool{}
+	var live [][2]int
+	nextW := int64(100)
+	insertBatch := func(count int) []error {
+		var batch []Edge
+		for len(batch) < count {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v || seen[jkey(u, v)] {
+				continue
+			}
+			seen[jkey(u, v)] = true
+			live = append(live, jkey(u, v))
+			batch = append(batch, Edge{U: u, V: v, W: Weight(nextW)})
+			nextW++
+		}
+		return f.InsertEdges(batch)
+	}
+	if err := allNil(insertBatch(2 * n)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ArmFault("core/apply-batch"); err != nil {
+		t.Fatal(err)
+	}
+	poisoned := false
+	for round := 0; round < 24 && !poisoned; round++ {
+		errs := insertBatch(8)
+		if f.Poisoned() != nil {
+			poisoned = true
+			if !errors.Is(allNil(errs), ErrPoisoned) {
+				t.Fatalf("poisoning batch errors: %v", errs)
+			}
+			// Linger poisoned with readers live, then recover.
+			time.Sleep(5 * time.Millisecond)
+			if err := f.Recover(); err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			// The rolled-back batch re-applies after recovery.
+			if err := allNil(f.InsertEdges(nil)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !poisoned {
+		t.Fatal("fault point never fired")
+	}
+	for round := 0; round < 6; round++ {
+		if err := allNil(insertBatch(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if msg := fail.Load(); msg != nil {
+		t.Fatalf("reader observed: %v", msg)
+	}
+}
+
+// TestAutoRecover exercises Options.AutoRecover: a poisoning batch still
+// reports ErrPoisoned to its caller, but by the time the call returns the
+// forest has already rebuilt and admits the retry.
+func TestAutoRecover(t *testing.T) {
+	const n = 32
+	f := MustNew(n, Options{MaxEdges: 1024, AutoRecover: true, FaultPoints: []string{}})
+	defer f.Close()
+	twin := MustNew(n, Options{MaxEdges: 1024, FaultPoints: []string{}})
+	defer twin.Close()
+
+	var base []Edge
+	for i := 0; i+1 < n; i++ {
+		base = append(base, Edge{U: i, V: i + 1, W: Weight(10 + i)})
+	}
+	if err := allNil(f.InsertEdges(base)); err != nil {
+		t.Fatal(err)
+	}
+	if err := allNil(twin.InsertEdges(base)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch path: the failing InsertEdges auto-recovers before returning.
+	if err := f.ArmFault("core/apply-batch"); err != nil {
+		t.Fatal(err)
+	}
+	batch := []Edge{{U: 0, V: 2, W: 500}, {U: 1, V: 3, W: 501}}
+	if err := allNil(f.InsertEdges(batch)); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("poisoning batch returned %v, want ErrPoisoned", err)
+	}
+	if f.Poisoned() != nil {
+		t.Fatal("AutoRecover left the forest poisoned after a batch")
+	}
+	if err := allNil(f.InsertEdges(batch)); err != nil {
+		t.Fatalf("retry after auto-recovery: %v", err)
+	}
+
+	// Single-op path: the batch planner is bypassed, so arm the publish
+	// point and fail a forest-changing single Delete.
+	if err := f.ArmFault("snapshot/publish"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Delete(0, 1); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("poisoning Delete returned %v, want ErrPoisoned", err)
+	}
+	if f.Poisoned() != nil {
+		t.Fatal("AutoRecover left the forest poisoned after a single op")
+	}
+	if err := f.Delete(0, 1); err != nil {
+		t.Fatalf("retry after auto-recovery: %v", err)
+	}
+
+	if err := allNil(twin.InsertEdges(batch)); err != nil {
+		t.Fatal(err)
+	}
+	if err := twin.Delete(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sameForest(t, f, twin, "auto-recover parity")
+}
+
+// TestSubmitBackpressure drives the admission policies deterministically:
+// the test stalls the drainer by holding the engine lock, so queue depth
+// is exactly controllable. SubmitFail must reject instantly, SubmitWait
+// must reject after its timeout, a bounded Flush must time out — and once
+// the engine frees, every accepted future must still resolve.
+func TestSubmitBackpressure(t *testing.T) {
+	const n = 16
+	t.Run("fail-fast", func(t *testing.T) {
+		f := MustNew(n, Options{
+			QueueDepth: 2, MaxBatch: 2,
+			SubmitPolicy: SubmitFail,
+			FlushTimeout: 100 * time.Millisecond,
+			FaultPoints:  []string{},
+		})
+		defer f.Close()
+		if err := f.Submit(Update{U: 0, V: 1, W: 5}).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		f.mu.Lock() // stall the drainer inside its next engine batch
+		var accepted []*Pending
+		sawFull := false
+		for i := 0; i < 10 && !sawFull; i++ {
+			p := f.Submit(Update{U: 2 + i, V: 3 + i, W: Weight(100 + i)})
+			select {
+			case <-p.Done():
+				if !errors.Is(p.Err(), ErrQueueFull) {
+					f.mu.Unlock()
+					t.Fatalf("submission %d resolved early with %v", i, p.Err())
+				}
+				sawFull = true
+			default:
+				accepted = append(accepted, p)
+			}
+		}
+		if !sawFull {
+			f.mu.Unlock()
+			t.Fatal("SubmitFail never rejected despite a stalled drainer")
+		}
+		// A bounded Flush cannot complete while the drainer is stalled.
+		if err := f.Flush(); !errors.Is(err, ErrTimeout) {
+			f.mu.Unlock()
+			t.Fatalf("stalled Flush = %v, want ErrTimeout", err)
+		}
+		f.mu.Unlock()
+		for i, p := range accepted {
+			if err := p.Wait(); err != nil {
+				t.Fatalf("accepted future %d resolved %v after the stall cleared", i, err)
+			}
+		}
+	})
+	t.Run("bounded-wait", func(t *testing.T) {
+		f := MustNew(n, Options{
+			QueueDepth: 1, MaxBatch: 1,
+			SubmitPolicy:  SubmitWait,
+			SubmitTimeout: 25 * time.Millisecond,
+			FaultPoints:   []string{},
+		})
+		defer f.Close()
+		if err := f.Submit(Update{U: 0, V: 1, W: 5}).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		f.mu.Lock()
+		var accepted []*Pending
+		sawFull := false
+		start := time.Now()
+		for i := 0; i < 6 && !sawFull; i++ {
+			p := f.Submit(Update{U: 2 + i, V: 3 + i, W: Weight(100 + i)})
+			select {
+			case <-p.Done():
+				if !errors.Is(p.Err(), ErrQueueFull) {
+					f.mu.Unlock()
+					t.Fatalf("submission %d resolved early with %v", i, p.Err())
+				}
+				sawFull = true
+			default:
+				accepted = append(accepted, p)
+			}
+		}
+		elapsed := time.Since(start)
+		if !sawFull {
+			f.mu.Unlock()
+			t.Fatal("SubmitWait never rejected despite a stalled drainer")
+		}
+		if elapsed < 25*time.Millisecond {
+			f.mu.Unlock()
+			t.Fatalf("SubmitWait rejected after %v, before its %v timeout", elapsed, 25*time.Millisecond)
+		}
+		f.mu.Unlock()
+		for i, p := range accepted {
+			if err := p.Wait(); err != nil {
+				t.Fatalf("accepted future %d resolved %v after the stall cleared", i, err)
+			}
+		}
+	})
+}
+
+// TestIngestLifecycleNoLeaks cycles forests with live ingest queues —
+// including one poisoned and one closed mid-stream — and requires every
+// future to resolve and the drainer goroutines to exit.
+func TestIngestLifecycleNoLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for cycle := 0; cycle < 8; cycle++ {
+		f := MustNew(16, Options{MaxEdges: 256, FaultPoints: []string{}})
+		var ps []*Pending
+		for i := 0; i+1 < 16; i++ {
+			ps = append(ps, f.Submit(Update{U: i, V: i + 1, W: Weight(10 + i)}))
+		}
+		if cycle%2 == 1 {
+			if err := f.ArmFault("ingest/apply"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.Close() // drains everything accepted, then stops the drainer
+		for i, p := range ps {
+			err := p.Err() // Close guarantees resolution; Err must not block
+			if err != nil && !errors.Is(err, ErrPoisoned) && !errors.Is(err, ErrClosed) {
+				t.Fatalf("cycle %d: future %d resolved %v", cycle, i, err)
+			}
+			select {
+			case <-p.Done():
+			default:
+				t.Fatalf("cycle %d: future %d unresolved after Close", cycle, i)
+			}
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestJournalChurnAllocs gates the crash journal's steady-state cost: the
+// per-op maintenance (delete on removal, re-set on reinsertion, against a
+// warmed map) must be allocation-free, and end-to-end single-op churn
+// through the public API must stay at the engine's own (pinned) ceiling —
+// i.e. journaling adds zero.
+func TestJournalChurnAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	const n = 64
+	f := MustNew(n, Options{MaxEdges: 1024})
+	for i := 0; i+1 < n; i++ {
+		mustIns(t, f, i, i+1, Weight(10+i))
+	}
+	mustIns(t, f, 0, 2, 100000) // non-tree churn edge on the 0-1-2 cycle
+
+	// The journal's own steady-state operations, in isolation.
+	k := jkey(0, 2)
+	if avg := testing.AllocsPerRun(200, func() {
+		delete(f.jour, k)
+		f.jour[k] = 100000
+	}); avg != 0 {
+		t.Fatalf("journal delete/re-set allocates %.2f/op, want 0", avg)
+	}
+	f.jour[k] = 100000
+
+	churn := func() {
+		if err := f.Delete(0, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Insert(0, 2, 100000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		churn() // warm the engine's pools
+	}
+	avg := testing.AllocsPerRun(200, churn)
+	// The ceiling pins the engine's own delete/reinsert cost (replacement
+	// scan and chunk-pair recompute scratch dominate, ~101/pair when the
+	// journal landed); the journal's delete + re-set contributes zero, as
+	// gated in isolation above.
+	if avg > 112 {
+		t.Fatalf("delete+reinsert churn allocates %.2f/pair, want <= 112", avg)
+	}
+}

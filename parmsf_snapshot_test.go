@@ -90,9 +90,9 @@ func TestSnapshotDeltaParity(t *testing.T) {
 			bs := workload.SmallBatchChurn(n, cell, 160, 4, 42)
 			sweepOpt := opt
 			sweepOpt.SnapshotRebaseEvery = 1
-			fd := New(n, opt)
+			fd := MustNew(n, opt)
 			defer fd.Close()
-			fs := New(n, sweepOpt)
+			fs := MustNew(n, sweepOpt)
 			defer fs.Close()
 			for _, e := range bs.Base {
 				if err := fd.Insert(e.U, e.V, e.W); err != nil {
@@ -181,7 +181,7 @@ func TestSnapshotDeltaParity(t *testing.T) {
 // components densely into [0, Components()).
 func TestSnapshotComponentLabels(t *testing.T) {
 	const n = 64
-	f := New(n, Options{MaxEdges: 256})
+	f := MustNew(n, Options{MaxEdges: 256})
 	defer f.Close()
 	for _, e := range [][3]int{{0, 1, 1}, {1, 2, 2}, {10, 11, 3}} {
 		if err := f.Insert(e[0], e[1], Weight(e[2])); err != nil {
@@ -230,7 +230,7 @@ func TestSnapshotComponentLabels(t *testing.T) {
 
 	// A forced-rebase forest publishes dense labels: every rebase epoch's
 	// labels lie in [0, Components()).
-	fr := New(n, Options{MaxEdges: 256, SnapshotRebaseEvery: 1})
+	fr := MustNew(n, Options{MaxEdges: 256, SnapshotRebaseEvery: 1})
 	defer fr.Close()
 	for _, e := range [][3]int{{0, 1, 1}, {1, 2, 2}, {10, 11, 3}} {
 		if err := fr.Insert(e[0], e[1], Weight(e[2])); err != nil {

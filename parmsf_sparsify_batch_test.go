@@ -19,16 +19,16 @@ import (
 // application is data-race free.
 func TestSparsifyBatchParity(t *testing.T) {
 	const n = 48
-	perEdge := New(n, Options{Sparsify: true})
-	flat := New(n, Options{MaxEdges: 16 * n})
-	sim := New(n, Options{Sparsify: true, Parallel: true})
+	perEdge := MustNew(n, Options{Sparsify: true})
+	flat := MustNew(n, Options{MaxEdges: 16 * n})
+	sim := MustNew(n, Options{Sparsify: true, Parallel: true})
 	machined := []*Forest{sim}
 	for _, w := range []int{1, 2, 4} {
-		pf := New(n, Options{Sparsify: true, Workers: w})
+		pf := MustNew(n, Options{Sparsify: true, Workers: w})
 		defer pf.Close()
 		machined = append(machined, pf)
 	}
-	barrier := New(n, Options{Sparsify: true, Workers: 2})
+	barrier := MustNew(n, Options{Sparsify: true, Workers: 2})
 	defer barrier.Close()
 	barrier.spars.Pipeline = false // level-barrier scheduler on the pool
 	machined = append(machined, barrier)
@@ -151,7 +151,7 @@ func TestSparsifyBatchAcceptance(t *testing.T) {
 	}
 	var runs []run
 	for _, w := range []int{1, 2, 4} {
-		f := New(n, Options{Sparsify: true, Workers: w})
+		f := MustNew(n, Options{Sparsify: true, Workers: w})
 		defer f.Close()
 		runs = append(runs, run{f, w})
 	}

@@ -9,7 +9,7 @@ import (
 )
 
 func TestQuickstartShape(t *testing.T) {
-	f := New(6, Options{})
+	f := MustNew(6, Options{})
 	mustIns(t, f, 0, 1, 4)
 	mustIns(t, f, 1, 2, 7)
 	mustIns(t, f, 0, 2, 2) // evicts (1,2)? no: cycle 0-1-2: heaviest 7 leaves
@@ -35,7 +35,7 @@ func mustIns(t *testing.T, f *Forest, u, v int, w Weight) {
 }
 
 func TestErrorMapping(t *testing.T) {
-	f := New(4, Options{MaxEdges: 16})
+	f := MustNew(4, Options{MaxEdges: 16})
 	mustIns(t, f, 0, 1, 5)
 	if err := f.Insert(1, 0, 6); err != ErrExists {
 		t.Fatalf("dup: %v", err)
@@ -61,9 +61,9 @@ func TestAllConfigurationsAgree(t *testing.T) {
 	base := workload.RandomSparse(n, 2*n, 13)
 	stream := workload.Churn(n, base, 800, false, 14)
 	forests := map[string]*Forest{
-		"default":  New(n, Options{MaxEdges: 8 * n}),
-		"parallel": New(n, Options{MaxEdges: 8 * n, CheckEREW: true}),
-		"sparsify": New(n, Options{Sparsify: true}),
+		"default":  MustNew(n, Options{MaxEdges: 8 * n}),
+		"parallel": MustNew(n, Options{MaxEdges: 8 * n, CheckEREW: true}),
+		"sparsify": MustNew(n, Options{Sparsify: true}),
 	}
 	ref := baseline.NewKruskal(n)
 	for i, op := range stream.Ops {
@@ -98,7 +98,7 @@ func TestAllConfigurationsAgree(t *testing.T) {
 }
 
 func TestEdgesIteration(t *testing.T) {
-	f := New(5, Options{})
+	f := MustNew(5, Options{})
 	mustIns(t, f, 0, 1, 1)
 	mustIns(t, f, 1, 2, 2)
 	mustIns(t, f, 3, 4, 3)
@@ -117,7 +117,7 @@ func TestEdgesIteration(t *testing.T) {
 }
 
 func TestPRAMCountersAdvance(t *testing.T) {
-	f := New(64, Options{Parallel: true})
+	f := MustNew(64, Options{Parallel: true})
 	rng := xrand.New(3)
 	for i := 0; i < 200; i++ {
 		u, v := rng.Intn(64), rng.Intn(64)
@@ -137,7 +137,7 @@ func TestPRAMCountersAdvance(t *testing.T) {
 
 func TestHighDegreeHub(t *testing.T) {
 	// A hub with degree 50: exercises degree reduction through the facade.
-	f := New(51, Options{MaxEdges: 256})
+	f := MustNew(51, Options{MaxEdges: 256})
 	for i := 1; i <= 50; i++ {
 		mustIns(t, f, 0, i, Weight(i))
 	}
@@ -158,7 +158,7 @@ func TestHighDegreeHub(t *testing.T) {
 }
 
 func TestComponents(t *testing.T) {
-	f := New(6, Options{})
+	f := MustNew(6, Options{})
 	if f.Components() != 6 {
 		t.Fatalf("empty graph components = %d", f.Components())
 	}
@@ -180,7 +180,10 @@ func TestComponents(t *testing.T) {
 }
 
 func TestConnectivityWrapper(t *testing.T) {
-	c := NewConnectivity(10, Options{})
+	c, err := NewConnectivity(10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Reference connectivity by BFS over a live adjacency map.
 	adj := map[int]map[int]bool{}
 	link := func(u, v int) {

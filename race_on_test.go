@@ -1,0 +1,8 @@
+//go:build race
+
+package parmsf
+
+// raceEnabled reports whether the race detector is instrumenting this test
+// binary. Allocation-count gates skip under -race: the detector's shadow
+// allocations make testing.AllocsPerRun meaningless.
+const raceEnabled = true
