@@ -1,0 +1,48 @@
+package cluster
+
+// Placement maps every global vertex to its owning shard. New evaluates
+// the placement once per vertex at construction and caches the result, so
+// the policy only needs to be pure at that moment: routing afterwards is a
+// table lookup, and an edge's two endpoints are always classified against
+// the same cached table (a racy or stateful policy cannot split an edge's
+// routing between two answers).
+type Placement interface {
+	// Shard returns the owning shard of vertex v, in [0, k).
+	Shard(v int) int
+}
+
+// Ranges is the contiguous-range placement over n vertices and k shards:
+// vertex v lives on shard v / ceil(n/k). The natural policy when vertex
+// ids already encode locality (tenants, regions, time buckets): workloads
+// whose edges stay inside an id range never touch the coordinator.
+func Ranges(n, k int) Placement {
+	return rangePlace{span: (n + k - 1) / k}
+}
+
+type rangePlace struct{ span int }
+
+func (p rangePlace) Shard(v int) int { return v / p.span }
+
+// Hash is the multiplicative-hash placement over k shards: vertex ids
+// scatter uniformly, balancing shard load when ids carry no locality — at
+// the cost of turning most edges into cross-shard (coordinator) edges, so
+// prefer Ranges or ByMap when the workload has any structure.
+func Hash(k int) Placement { return hashPlace{k: k} }
+
+type hashPlace struct{ k int }
+
+func (p hashPlace) Shard(v int) int {
+	x := uint64(v) * 0x9E3779B97F4A7C15
+	x ^= x >> 29
+	return int((x >> 33) % uint64(p.k))
+}
+
+// ByMap is the caller-supplied placement: owner[v] is the shard of vertex
+// v. The slice must have one entry per vertex with every value in [0, k);
+// New validates it. The caller keeps ownership of the slice but must not
+// modify it after New (New reads it once, into its own table).
+func ByMap(owner []int) Placement { return mapPlace{owner: owner} }
+
+type mapPlace struct{ owner []int }
+
+func (p mapPlace) Shard(v int) int { return p.owner[v] }

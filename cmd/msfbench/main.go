@@ -13,6 +13,7 @@
 //	msfbench -exp E16                       # concurrent serving plane (readers vs ingest writers)
 //	msfbench -exp E17                       # bulk constructor vs incremental cold-start load
 //	msfbench -exp E18                       # incremental snapshot publication (delta vs sweep)
+//	msfbench -exp E20                       # sharded cluster write scaling vs shard count
 package main
 
 import (
@@ -26,9 +27,9 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E19), 'all', or 'none'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E20), 'all', or 'none'")
 	full := flag.Bool("full", false, "paper-scale sizes")
-	batchJSON := flag.String("batchjson", "", "write the E12-E19 batch measurements as JSON to this path (BENCH_batch.json)")
+	batchJSON := flag.String("batchjson", "", "write the E12-E20 batch measurements as JSON to this path (BENCH_batch.json)")
 	repeat := flag.Int("repeat", 3, "runs per timed section; tables and the batch report carry min + median")
 	flag.Parse()
 

@@ -20,6 +20,14 @@
 // bijection), with weight and size also checked against the Kruskal
 // baseline. Run for the default and sparsified pipelines.
 //
+// With -cluster FILE the tool instead cross-validates the sharded
+// cluster package on an edge-list file ("-" selects a builtin
+// deterministic random-sparse list): every edge inserted one at a time,
+// then every live edge deleted in seeded random order, through k in
+// {2, 4} clusters under range and hash placements, against a flat
+// single-forest twin and the Kruskal baseline — Weight, Size and
+// Components compared after every operation, Connected sampled.
+//
 // With -crash the tool instead cross-validates panic containment and
 // journaled recovery: a forest under batch churn takes injected engine
 // panics at every registered crash point in rotation (flat and sparsified
@@ -33,6 +41,7 @@
 //	msfcheck -n 64 -steps 5000 -seed 1
 //	msfcheck -quick             # small smoke run
 //	msfcheck -build edges.txt   # bulk-constructor cross-validation
+//	msfcheck -cluster -         # sharded-cluster cross-validation (builtin edges)
 //	msfcheck -snapshot          # delta-vs-sweep snapshot cross-validation
 //	msfcheck -crash             # fault-injection + recovery cross-validation
 package main
@@ -58,11 +67,16 @@ func main() {
 	quick := flag.Bool("quick", false, "small smoke run (n=16, steps=500)")
 	deep := flag.Int("deep", 97, "run the full O(n^2) core invariant check every `deep` ops on the raw core engine")
 	build := flag.String("build", "", "cross-validate parmsf.Build on this edge-list file instead of running the churn stress")
+	clusterF := flag.String("cluster", "", "cross-validate the sharded cluster package on this edge-list file ('-' for a builtin deterministic list) instead of running the churn stress")
 	snapshotF := flag.Bool("snapshot", false, "cross-validate the O(delta) snapshot publication path against from-scratch sweeps instead of running the churn stress")
 	crash := flag.Bool("crash", false, "cross-validate panic containment and journaled recovery: inject engine panics at every registered crash point in rotation and verify each Recover against the Kruskal baseline")
 	flag.Parse()
 	if *build != "" {
 		checkBuild(*build)
+		return
+	}
+	if *clusterF != "" {
+		checkCluster(*clusterF, *seed)
 		return
 	}
 	if *quick {

@@ -56,17 +56,18 @@ type batchSizes struct {
 	nontreeN   int // vertices of the E13 non-tree pipeline scenario
 	sparsifyN  int // vertices of the E14/E15 sparsified m=16n scenario
 	readwriteN int // vertices of the E16 mixed reader/writer scenario
+	clusterN   int // vertices of the E20 sharded cluster scenario
 	name       string
 }
 
 func batchSizesFor(sc Scale) batchSizes {
 	switch sc {
 	case Full:
-		return batchSizes{1 << 20, 1 << 12, 1 << 14, 128, 1 << 12, "full"}
+		return batchSizes{1 << 20, 1 << 12, 1 << 14, 128, 1 << 12, 1 << 12, "full"}
 	case Tiny:
-		return batchSizes{1 << 14, 256, 1 << 9, 48, 256, "tiny"}
+		return batchSizes{1 << 14, 256, 1 << 9, 48, 256, 256, "tiny"}
 	}
-	return batchSizes{1 << 18, 1 << 10, 1 << 12, 64, 1 << 11, "quick"}
+	return batchSizes{1 << 18, 1 << 10, 1 << 12, 64, 1 << 11, 1 << 11, "quick"}
 }
 
 // mkSortItems builds the deterministic shuffled input of the sort-kernel
@@ -451,8 +452,10 @@ type PipelinePoint struct {
 // serving plane (snapshot readers vs ingest writers, per-op and batched
 // submission), the bulk-constructor cold-start comparison, the
 // incremental snapshot publication scenario (delta path vs full sweep
-// across n), and the crash-recovery scenario (journal rebuild time vs
-// live-edge count, read continuity across the outage).
+// across n), the crash-recovery scenario (journal rebuild time vs
+// live-edge count, read continuity across the outage), and the sharded
+// cluster scenario (aggregate write throughput and composed-read rate vs
+// shard count).
 type BatchReport struct {
 	Generated  string           `json:"generated"`
 	GOMAXPROCS int              `json:"gomaxprocs"`
@@ -463,6 +466,7 @@ type BatchReport struct {
 	NontreeN   int              `json:"nontree_n"`
 	SparsifyN  int              `json:"sparsify_n"`
 	ReadWriteN int              `json:"readwrite_n"`
+	ClusterN   int              `json:"cluster_n"`
 	Sort       []BatchPoint     `json:"sort_ms"`
 	Insert     []BatchPoint     `json:"insert_ns_per_edge"`
 	Nontree    []BatchPoint     `json:"nontree_ns_per_edge"`
@@ -472,6 +476,7 @@ type BatchReport struct {
 	Bulk       []BulkPoint      `json:"bulk_build"`
 	Publish    []PublishPoint   `json:"publish_delta"`
 	Recovery   []RecoveryPoint  `json:"recovery"`
+	Cluster    []ClusterPoint   `json:"cluster"`
 }
 
 // BuildBatchReport runs the E12-E17 measurements and assembles the report.
@@ -488,6 +493,7 @@ func BuildBatchReport(sc Scale) BatchReport {
 		NontreeN:   sz.nontreeN,
 		SparsifyN:  sz.sparsifyN,
 		ReadWriteN: sz.readwriteN,
+		ClusterN:   sz.clusterN,
 	}
 	src := mkSortItems(sz.sortItems)
 	work := make([]batch.Item, sz.sortItems)
@@ -516,6 +522,7 @@ func BuildBatchReport(sc Scale) BatchReport {
 	rep.Bulk = buildBulkPoints(sc)
 	rep.Publish = buildPublishPoints(sc)
 	rep.Recovery = buildRecoveryPoints(sc)
+	rep.Cluster = buildClusterPoints(sc)
 	return rep
 }
 

@@ -79,10 +79,11 @@ var Registry = map[string]func(w io.Writer, sc Scale){
 	"E17": E17BulkBuild,
 	"E18": E18PublishDelta,
 	"E19": E19Recovery,
+	"E20": E20Cluster,
 }
 
 // Order is the canonical execution order.
-var Order = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
+var Order = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
 
 // sqrtNLogN is the Theorem 1.2 bound shape.
 func sqrtNLogN(n int) float64 {

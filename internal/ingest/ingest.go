@@ -75,6 +75,25 @@ type Config struct {
 	ClosedErr  error
 	FullErr    error
 	TimeoutErr error
+	// CancelPairs enables the drainer's cancelling coalescer: within one
+	// scooped FIFO window, an insert of edge (U, V) immediately followed —
+	// in that edge's own op order — by a delete of the same edge is
+	// annihilated: neither op reaches the engine and both futures resolve
+	// nil. Per-edge order is preserved (only adjacent insert+delete pairs
+	// of one edge cancel; everything else applies in FIFO position), and a
+	// pair separated by any other op on the same edge never cancels.
+	//
+	// Semantics: cancellation assumes the insert would have succeeded. If
+	// the edge was already live when the window drained (the uncoalesced
+	// stream would report ErrExists for the insert and then delete the
+	// pre-existing edge), the coalesced stream instead reports success for
+	// both ops and leaves the pre-existing edge in place. Producers that
+	// keep their per-edge streams consistent — never blindly re-inserting
+	// a live edge — observe identical state and results either way. A
+	// cancelled pair is also never visible in any snapshot epoch, where
+	// the uncoalesced stream might have published a transient epoch
+	// containing the edge.
+	CancelPairs bool
 }
 
 // Op is one edge update: an insertion of (U, V) with weight W, or — when
@@ -122,10 +141,14 @@ type Applier interface {
 	ApplyDeletes(ops []Op) []error
 }
 
-// Stats is a point-in-time counter snapshot of a queue's drainer.
+// Stats is a point-in-time counter snapshot of a queue's drainer. Ops
+// counts ops that reached the engine; Cancelled counts ops annihilated by
+// the CancelPairs coalescer (each cancelled pair contributes 2). Their sum
+// is the number of submitted ops that have resolved.
 type Stats struct {
-	Ops     uint64 // ops applied through the queue
-	Batches uint64 // engine batches those ops coalesced into
+	Ops       uint64 // ops applied through the queue
+	Batches   uint64 // engine batches those ops coalesced into
+	Cancelled uint64 // ops annihilated by pair cancellation (never applied)
 }
 
 // item is one queue entry: an op with its future, a batch of ops with
@@ -157,12 +180,17 @@ type Queue struct {
 
 	drained chan struct{} // closed when the drainer has exited
 
-	ops     atomic.Uint64
-	batches atomic.Uint64
+	ops       atomic.Uint64
+	batches   atomic.Uint64
+	cancelled atomic.Uint64
 
 	scratch    []Op // drainer-local batch assembly buffers
 	futScratch []*Future
 	pending    []item
+
+	cancel bool           // Config.CancelPairs
+	skip   []bool         // per-flat-op cancellation marks for one window
+	keyst  map[[2]int]int // per-edge coalescer state within one window
 }
 
 // New starts a queue feeding applier with default admission behavior.
@@ -208,6 +236,7 @@ func NewWithConfig(applier Applier, cfg Config) *Queue {
 		scratch:       make([]Op, 0, cfg.MaxBatch),
 		futScratch:    make([]*Future, 0, cfg.MaxBatch),
 		pending:       make([]item, 0, cfg.MaxBatch),
+		cancel:        cfg.CancelPairs,
 	}
 	go q.drain()
 	return q
@@ -356,7 +385,7 @@ func (q *Queue) Close() {
 // Stats returns the ops/batches counters (safe concurrently; the two
 // counters are read independently and may be one batch apart).
 func (q *Queue) Stats() Stats {
-	return Stats{Ops: q.ops.Load(), Batches: q.batches.Load()}
+	return Stats{Ops: q.ops.Load(), Batches: q.batches.Load(), Cancelled: q.cancelled.Load()}
 }
 
 // drain is the single consumer: block for the first waiting item, scoop up
@@ -394,8 +423,17 @@ func (q *Queue) drain() {
 // uniformly and a long batch splits across engine batches at the maxBatch
 // cap (or where its kind flips mid-slice). Flush markers release at their
 // queue position, i.e. after everything submitted before them has applied.
+//
+// With CancelPairs on, markCancels first flags annihilating insert+delete
+// pairs; flat mirrors its op numbering, and flagged ops resolve nil in
+// place of applying — without splitting the surrounding run at their kind
+// flip, so a cancelled pair buried in an insert run still yields a single
+// engine batch.
 func (q *Queue) apply(items []item) {
-	i, j := 0, 0
+	if q.cancel {
+		q.markCancels(items)
+	}
+	i, j, flat := 0, 0, 0
 	for i < len(items) {
 		if it := &items[i]; it.flush != nil {
 			close(it.flush)
@@ -421,25 +459,40 @@ func (q *Queue) apply(items []item) {
 				break gather
 			case cur.futs != nil:
 				for j < len(cur.ops) && len(ops) < q.maxBatch {
+					if q.cancel && q.skip[flat] {
+						q.cancelled.Add(1)
+						close(cur.futs[j].done)
+						j, flat = j+1, flat+1
+						continue
+					}
 					if cur.ops[j].Delete != del {
 						break gather
 					}
 					ops = append(ops, cur.ops[j])
 					futs = append(futs, cur.futs[j])
-					j++
+					j, flat = j+1, flat+1
 				}
 				if j < len(cur.ops) {
 					break gather // maxBatch hit mid-batch; resume here next run
 				}
 				i, j = i+1, 0
 			default:
+				if q.cancel && q.skip[flat] {
+					q.cancelled.Add(1)
+					close(cur.fut.done)
+					i, flat = i+1, flat+1
+					continue
+				}
 				if cur.op.Delete != del {
 					break gather
 				}
 				ops = append(ops, cur.op)
 				futs = append(futs, cur.fut)
-				i++
+				i, flat = i+1, flat+1
 			}
+		}
+		if len(ops) == 0 {
+			continue // the whole run cancelled away; no engine batch
 		}
 		errs := q.applyRun(del, ops)
 		q.scratch = ops[:0]
@@ -455,6 +508,81 @@ func (q *Queue) apply(items []item) {
 		}
 		clear(futs) // drop future pointers from the pooled buffer
 		q.futScratch = futs[:0]
+	}
+}
+
+// markCancels walks the drained window once in flat op order and flags
+// annihilating pairs in q.skip: an insert of an edge with no earlier
+// unresolved op on that edge, whose next same-edge op is a delete, cancels
+// against it. A second insert of a pending edge blocks that edge for the
+// rest of the window (its delete must apply — the first insert made the
+// edge live, so only engine application yields the true stream's state),
+// until an applied delete resets it. Deletes of edges with no pending
+// insert apply normally and reset the edge. Flush markers occupy no flat
+// slot.
+func (q *Queue) markCancels(items []item) {
+	total := 0
+	for i := range items {
+		switch {
+		case items[i].flush != nil:
+		case items[i].futs != nil:
+			total += len(items[i].ops)
+		default:
+			total++
+		}
+	}
+	if cap(q.skip) < total {
+		q.skip = make([]bool, total)
+	} else {
+		q.skip = q.skip[:total]
+		for i := range q.skip {
+			q.skip[i] = false
+		}
+	}
+	if q.keyst == nil {
+		q.keyst = make(map[[2]int]int, 64)
+	} else {
+		clear(q.keyst)
+	}
+	flat := 0
+	for n := range items {
+		it := &items[n]
+		switch {
+		case it.flush != nil:
+		case it.futs != nil:
+			for k := range it.ops {
+				q.markOne(it.ops[k], flat)
+				flat++
+			}
+		default:
+			q.markOne(it.op, flat)
+			flat++
+		}
+	}
+}
+
+// markOne advances one edge's coalescer state for the op at flat index
+// flat. Map values: >= 0 is the flat index of that edge's pending
+// (cancellable) insert; -1 is the blocked state (double insert seen).
+func (q *Queue) markOne(op Op, flat int) {
+	k := [2]int{op.U, op.V}
+	if k[0] > k[1] {
+		k[0], k[1] = k[1], k[0]
+	}
+	if op.Delete {
+		if at, ok := q.keyst[k]; ok {
+			if at >= 0 {
+				q.skip[at] = true
+				q.skip[flat] = true
+			}
+			delete(q.keyst, k)
+		}
+		return
+	}
+	if at, ok := q.keyst[k]; !ok {
+		q.keyst[k] = flat
+	} else if at >= 0 {
+		q.keyst[k] = -1
 	}
 }
 

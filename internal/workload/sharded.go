@@ -1,0 +1,213 @@
+package workload
+
+import "parmsf/internal/xrand"
+
+// ShardedStream is one writer's two-phase update stream for the cluster
+// serving scenario (E20): Load builds the writer's connected degree-3
+// base graph (the untimed warm-up — insert-only), Churn is the
+// steady-state update stream the experiment times. Keeping the phases
+// split lets a harness flush the load before starting the clock, so the
+// measured regime is churn on a warm, largely-connected shard — the
+// regime where tree-edge deletions force replacement searches whose cost
+// scales with the component (shard) size, not the cheap short-list path a
+// cold scatter of tiny components would take.
+type ShardedStream struct {
+	Load  []Op
+	Churn []Op
+}
+
+// shardedBurst bounds the same-kind run length of the churn phase.
+// Random per-op insert/delete coin flips would split every engine batch
+// after ~2 ops (batches split where the kind changes); runs of up to
+// shardedBurst consecutive ops of one kind keep the batch pipeline fed
+// without changing the steady-state edge count.
+const shardedBurst = 48
+
+// burstChurn is the E1 churn recipe over a degree-bounded base —
+// random deletions of live edges against insertions of fresh edges
+// respecting the degree-3 bound, weights unique and increasing — except
+// the insert/delete choice holds for a burst of 1..shardedBurst ops
+// instead of flipping per op.
+func burstChurn(n int, base []Edge, steps int, seed uint64) []Op {
+	rng := xrand.New(seed)
+	type pk = [2]int
+	live := map[pk]bool{}
+	deg := make([]int, n)
+	nextW := int64(1)
+	var list []pk
+	for _, e := range base {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		live[pk{u, v}] = true
+		list = append(list, pk{u, v})
+		deg[u]++
+		deg[v]++
+		if e.W >= nextW {
+			nextW = e.W + 1
+		}
+	}
+	ops := make([]Op, 0, steps)
+	del := func() bool {
+		if len(list) == 0 {
+			return false
+		}
+		i := rng.Intn(len(list))
+		k := list[i]
+		list[i] = list[len(list)-1]
+		list = list[:len(list)-1]
+		delete(live, k)
+		deg[k[0]]--
+		deg[k[1]]--
+		ops = append(ops, Op{OpDelete, k[0], k[1], 0})
+		return true
+	}
+	ins := func() bool {
+		for tries := 0; tries < 20; tries++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if live[pk{u, v}] || deg[u] >= 3 || deg[v] >= 3 {
+				continue
+			}
+			live[pk{u, v}] = true
+			list = append(list, pk{u, v})
+			deg[u]++
+			deg[v]++
+			ops = append(ops, Op{OpInsert, u, v, nextW})
+			nextW++
+			return true
+		}
+		return false
+	}
+	runLeft, deleting := 0, false
+	for s := 0; s < steps; s++ {
+		if runLeft == 0 {
+			deleting = len(list) > 0 && rng.Bool()
+			runLeft = 1 + rng.Intn(shardedBurst)
+		}
+		runLeft--
+		if deleting {
+			if del() {
+				continue
+			}
+			deleting = false // list drained mid-run: finish inserting
+		}
+		if ins() {
+			continue
+		}
+		deleting = true // degree-saturated: churn downward instead
+		del()
+	}
+	return ops
+}
+
+// ShardedStreams builds the write side of the cluster serving scenario:
+// k deterministic two-phase streams, one per writer, aligned with the
+// contiguous-range placement cluster.Ranges(n, k). Writer i loads a
+// degree-bounded sparse base (m = 1.25 * span) over shard i's vertex
+// interval and then churns it with `steps` burst-shaped operations
+// (burstChurn above). With crossPermille > 0 and k > 1 the churn
+// additionally carries cross-shard edge traffic at that rate: inserts
+// and deletes of edges from the lower half of shard i into the upper
+// half of shard (i+1) mod k.
+//
+// The streams are conflict-free under any interleaving: intra-shard
+// edges live in disjoint vertex intervals, and writer i's cross edges
+// run lower-half-to-upper-half between adjacent shards, so no two
+// writers can ever touch the same edge. Weights are globally unique:
+// intra weights are ≡ i mod k, cross weights live in a disjoint high
+// range.
+func ShardedStreams(n, k, steps, crossPermille int, seed uint64) []ShardedStream {
+	if k < 1 {
+		k = 1
+	}
+	span := (n + k - 1) / k
+	if span < 8 {
+		panic("workload: ShardedStreams needs n/k >= 8")
+	}
+	half := span / 2
+	out := make([]ShardedStream, k)
+	for i := 0; i < k; i++ {
+		lo := i * span
+		hi := lo + span
+		if hi > n {
+			hi = n
+		}
+		w := hi - lo // the real interval width (last shard may truncate)
+		base := DegreeBounded(w, w*5/4, 3, seed+uint64(i)*104729)
+		all := make([]Op, 0, len(base)+steps)
+		for _, e := range base {
+			all = append(all, Op{OpInsert, e.U, e.V, e.W})
+		}
+		all = append(all, burstChurn(w, base, steps, seed+uint64(i)*104729+1)...)
+		// Remap to the global interval, normalize endpoint order, and
+		// move weights to the writer's residue class mod k.
+		for j := range all {
+			all[j].U += lo
+			all[j].V += lo
+			if all[j].U > all[j].V {
+				all[j].U, all[j].V = all[j].V, all[j].U
+			}
+			if all[j].Kind == OpInsert {
+				all[j].W = all[j].W*int64(k) + int64(i)
+			}
+		}
+		load, churn := all[:len(base)], all[len(base):]
+
+		// Sprinkle cross-shard traffic through the churn phase. Cross
+		// weights sit in a disjoint high range so global uniqueness
+		// survives any interleaving with the intra weights.
+		if k > 1 && crossPermille > 0 {
+			rng := xrand.New(seed + uint64(i)*104729 + 2)
+			nlo := ((i + 1) % k) * span
+			nhi := nlo + span
+			if nhi > n {
+				nhi = n
+			}
+			type pk = [2]int
+			live := map[pk]bool{}
+			var list []pk
+			cnt := 0
+			mixed := make([]Op, 0, len(churn)+len(churn)*crossPermille/1000+1)
+			for _, op := range churn {
+				mixed = append(mixed, op)
+				if rng.Intn(1000) >= crossPermille {
+					continue
+				}
+				if len(list) > 0 && rng.Bool() {
+					j := rng.Intn(len(list))
+					e := list[j]
+					list[j] = list[len(list)-1]
+					list = list[:len(list)-1]
+					delete(live, e)
+					mixed = append(mixed, Op{OpDelete, e[0], e[1], 0})
+					continue
+				}
+				if half < 1 || nlo+half >= nhi {
+					continue // degenerate truncated shard
+				}
+				u := lo + rng.Intn(half)
+				v := nlo + half + rng.Intn(nhi-nlo-half)
+				if u > v { // the wrap-around writer crosses into shard 0
+					u, v = v, u
+				}
+				if live[pk{u, v}] {
+					continue
+				}
+				live[pk{u, v}] = true
+				list = append(list, pk{u, v})
+				mixed = append(mixed, Op{OpInsert, u, v, int64(1)<<40 + int64(cnt*k+i)})
+				cnt++
+			}
+			churn = mixed
+		}
+		out[i] = ShardedStream{Load: load, Churn: churn}
+	}
+	return out
+}

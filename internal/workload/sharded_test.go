@@ -1,0 +1,116 @@
+package workload
+
+import "testing"
+
+// TestShardedStreamsDisjoint checks the conflict-freedom contract: no two
+// writers ever touch the same edge, intra edges stay inside their shard's
+// interval, cross edges connect adjacent shards only, and weights are
+// globally unique across load and churn phases of every writer.
+func TestShardedStreamsDisjoint(t *testing.T) {
+	const n, k, steps = 256, 4, 500
+	span := (n + k - 1) / k
+	streams := ShardedStreams(n, k, steps, 100, 42)
+	if len(streams) != k {
+		t.Fatalf("got %d streams, want %d", len(streams), k)
+	}
+	owner := func(v int) int { return v / span }
+	edgeWriter := map[[2]int]int{}
+	weights := map[int64]bool{}
+	for i, st := range streams {
+		if len(st.Load) == 0 {
+			t.Fatalf("writer %d: empty load phase", i)
+		}
+		if len(st.Churn) < steps/2 {
+			t.Fatalf("writer %d: %d churn ops, want at least %d", i, len(st.Churn), steps/2)
+		}
+		live := map[[2]int]bool{}
+		cross := 0
+		for phase, ops := range [][]Op{st.Load, st.Churn} {
+			for _, op := range ops {
+				key := [2]int{op.U, op.V}
+				if op.U >= op.V || op.U < 0 || op.V >= n {
+					t.Fatalf("writer %d: malformed edge %v", i, key)
+				}
+				if op.Kind == OpDelete {
+					if phase == 0 {
+						t.Fatalf("writer %d: delete %v in the load phase", i, key)
+					}
+					if !live[key] {
+						t.Fatalf("writer %d deletes non-live edge %v", i, key)
+					}
+					delete(live, key)
+					continue
+				}
+				if live[key] {
+					t.Fatalf("writer %d reinserts live edge %v", i, key)
+				}
+				live[key] = true
+				if w, ok := edgeWriter[key]; ok && w != i {
+					t.Fatalf("edge %v touched by writers %d and %d", key, w, i)
+				}
+				edgeWriter[key] = i
+				if weights[op.W] {
+					t.Fatalf("duplicate weight %d", op.W)
+				}
+				weights[op.W] = true
+				su, sv := owner(op.U), owner(op.V)
+				if su != sv {
+					cross++
+					if phase == 0 {
+						t.Fatalf("writer %d: cross edge %v in the load phase", i, key)
+					}
+					if sv != (su+1)%k && su != (sv+1)%k {
+						t.Fatalf("writer %d: cross edge %v spans non-adjacent shards %d,%d", i, key, su, sv)
+					}
+				} else if su != i {
+					t.Fatalf("writer %d: intra edge %v owned by shard %d", i, key, su)
+				}
+			}
+		}
+		if cross == 0 {
+			t.Fatalf("writer %d: crossPermille=100 produced no cross edges", i)
+		}
+	}
+	// Determinism: same seed, same streams.
+	again := ShardedStreams(n, k, steps, 100, 42)
+	for i := range streams {
+		if len(again[i].Load) != len(streams[i].Load) || len(again[i].Churn) != len(streams[i].Churn) {
+			t.Fatalf("writer %d: non-deterministic lengths", i)
+		}
+		for j := range streams[i].Load {
+			if streams[i].Load[j] != again[i].Load[j] {
+				t.Fatalf("writer %d load op %d: non-deterministic", i, j)
+			}
+		}
+		for j := range streams[i].Churn {
+			if streams[i].Churn[j] != again[i].Churn[j] {
+				t.Fatalf("writer %d churn op %d: non-deterministic", i, j)
+			}
+		}
+	}
+}
+
+// TestShardedStreamsDisjointChurn checks the crossPermille=0 arm never
+// leaves its shard and k=1 degenerates to one full-range churn stream
+// over a degree-bounded base.
+func TestShardedStreamsDisjointChurn(t *testing.T) {
+	const n, k, steps = 128, 4, 300
+	span := (n + k - 1) / k
+	for i, st := range ShardedStreams(n, k, steps, 0, 7) {
+		for _, op := range append(append([]Op(nil), st.Load...), st.Churn...) {
+			if op.U/span != i || op.V/span != i {
+				t.Fatalf("writer %d: edge (%d,%d) escapes its shard", i, op.U, op.V)
+			}
+		}
+	}
+	one := ShardedStreams(n, 1, steps, 500, 7)
+	if len(one) != 1 {
+		t.Fatalf("k=1: got %d streams", len(one))
+	}
+	if len(one[0].Load) != n*5/4 {
+		t.Fatalf("k=1: load carries %d edges, want %d", len(one[0].Load), n*5/4)
+	}
+	if len(one[0].Churn) == 0 || len(one[0].Churn) > steps {
+		t.Fatalf("k=1: %d churn ops, want 1..%d (crossPermille ignored at k=1)", len(one[0].Churn), steps)
+	}
+}

@@ -126,6 +126,20 @@ type Options struct {
 	// coalesce, bounding worst-case batch latency. 0 selects the default
 	// (512).
 	MaxBatch int
+	// CoalesceCancel enables the ingest drainer's cancelling coalescer:
+	// within one drained FIFO window, an insert of an edge immediately
+	// followed (in that edge's own op order) by its delete annihilates —
+	// neither reaches the engine, both Pending results resolve nil, and the
+	// pair is never visible in any snapshot epoch. Raises effective
+	// ops/batch under churn. Off by default because it is visible in two
+	// ways: IngestStats' ops counter excludes cancelled updates (see
+	// IngestCancelled), and a cancelled insert is assumed successful — if
+	// the edge was already live, the uncoalesced stream would have reported
+	// ErrExists for the insert and deleted the pre-existing edge, while the
+	// coalesced stream reports success for both and keeps the pre-existing
+	// edge. Producers that never blindly re-insert a live edge observe
+	// identical state and results either way.
+	CoalesceCancel bool
 	// SnapshotRebaseEvery forces a full-sweep snapshot rebase every k
 	// published epochs instead of the default capacity-driven schedule
 	// (the incremental delta path rebases only when an era's ~n/8 patch
@@ -1178,7 +1192,9 @@ func (f *Forest) Flush() error {
 // IngestStats reports the coalescing drainer's counters: updates applied
 // through the queue and the engine batches they collapsed into (their
 // ratio is the coalescing factor). Zeros when Submit was never used; after
-// Close it keeps reporting the totals the queue drained to.
+// Close it keeps reporting the totals the queue drained to. With
+// Options.CoalesceCancel, updates annihilated by pair cancellation are not
+// counted here — see IngestCancelled.
 func (f *Forest) IngestStats() (ops, batches uint64) {
 	f.qmu.Lock()
 	defer f.qmu.Unlock()
@@ -1187,6 +1203,31 @@ func (f *Forest) IngestStats() (ops, batches uint64) {
 	}
 	st := f.q.Stats()
 	return st.Ops, st.Batches
+}
+
+// IngestCancelled reports how many submitted updates the drainer's
+// cancelling coalescer annihilated (each cancelled insert+delete pair
+// contributes 2; see Options.CoalesceCancel). Always 0 without
+// CoalesceCancel. The sum of IngestCancelled and IngestStats' ops counter
+// is the number of submitted updates that have resolved.
+func (f *Forest) IngestCancelled() uint64 {
+	f.qmu.Lock()
+	defer f.qmu.Unlock()
+	if f.q == nil {
+		return f.qfinal.Cancelled
+	}
+	return f.q.Stats().Cancelled
+}
+
+// Epoch returns the current snapshot epoch: strictly monotone, advancing
+// once per applied update that changed the forest. Safe from any
+// goroutine; the cluster layer uses it to detect shard staleness without
+// materializing a full snapshot.
+func (f *Forest) Epoch() uint64 {
+	s := f.pub.Acquire()
+	e := s.Epoch()
+	s.Release()
+	return e
 }
 
 // queue lazily starts the ingest drainer; nil after Close. The queue
@@ -1206,6 +1247,7 @@ func (f *Forest) queue() *ingest.Queue {
 			ClosedErr:     ErrClosed,
 			FullErr:       ErrQueueFull,
 			TimeoutErr:    ErrTimeout,
+			CancelPairs:   f.opt.CoalesceCancel,
 		})
 	}
 	return f.q
